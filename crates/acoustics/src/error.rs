@@ -1,0 +1,56 @@
+//! Error type for the acoustic channel simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the acoustics simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AcousticsError {
+    /// A numeric parameter was out of its valid range.
+    InvalidParameter(String),
+    /// An underlying DSP operation failed.
+    Dsp(wearlock_dsp::DspError),
+}
+
+impl fmt::Display for AcousticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AcousticsError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            AcousticsError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl Error for AcousticsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AcousticsError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wearlock_dsp::DspError> for AcousticsError {
+    fn from(e: wearlock_dsp::DspError) -> Self {
+        AcousticsError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_dsp_error_with_source() {
+        let e = AcousticsError::from(wearlock_dsp::DspError::EmptyInput);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("dsp error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AcousticsError>();
+    }
+}

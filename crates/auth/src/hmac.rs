@@ -1,0 +1,117 @@
+//! HMAC-SHA-1 (RFC 2104), implemented over our [`crate::sha1`].
+
+use crate::sha1::{sha1, DIGEST_LEN};
+
+const BLOCK_LEN: usize = 64;
+
+/// Computes `HMAC-SHA1(key, message)`.
+///
+/// Keys longer than the 64-byte block are hashed first, per RFC 2104.
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_auth::hmac::hmac_sha1;
+/// let mac = hmac_sha1(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(mac[0], 0xde);
+/// assert_eq!(mac[1], 0x7c);
+/// ```
+pub fn hmac_sha1(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut k = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        k[..DIGEST_LEN].copy_from_slice(&sha1(key));
+    } else {
+        k[..key.len()].copy_from_slice(key);
+    }
+
+    let mut inner = Vec::with_capacity(BLOCK_LEN + message.len());
+    for b in &k {
+        inner.push(b ^ 0x36);
+    }
+    inner.extend_from_slice(message);
+    let inner_hash = sha1(&inner);
+
+    let mut outer = Vec::with_capacity(BLOCK_LEN + DIGEST_LEN);
+    for b in &k {
+        outer.push(b ^ 0x5c);
+    }
+    outer.extend_from_slice(&inner_hash);
+    sha1(&outer)
+}
+
+/// Constant-time equality comparison for MACs and derived tokens.
+///
+/// Avoids early-exit timing differences; both slices are always scanned
+/// fully. Returns false on length mismatch.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc2202_test_vectors() {
+        // Test cases 1-3 and 6-7 from RFC 2202 §3.
+        assert_eq!(
+            hex(&hmac_sha1(&[0x0b; 20], b"Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00"
+        );
+        assert_eq!(
+            hex(&hmac_sha1(b"Jefe", b"what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79"
+        );
+        assert_eq!(
+            hex(&hmac_sha1(&[0xaa; 20], &[0xdd; 50])),
+            "125d7342b9ac11cd91a39af48aa17b4f63f175d3"
+        );
+        // Key longer than block size (80 bytes).
+        assert_eq!(
+            hex(&hmac_sha1(
+                &[0xaa; 80],
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112"
+        );
+        assert_eq!(
+            hex(&hmac_sha1(
+                &[0xaa; 80],
+                b"Test Using Larger Than Block-Size Key and Larger Than One Block-Size Data"
+            )),
+            "e8e99d0f45237d786d6bbaa7965c7808bbff1a91"
+        );
+    }
+
+    #[test]
+    fn different_keys_different_macs() {
+        let m1 = hmac_sha1(b"key-a", b"message");
+        let m2 = hmac_sha1(b"key-b", b"message");
+        assert_ne!(m1, m2);
+    }
+
+    #[test]
+    fn empty_key_and_message_are_defined() {
+        let mac = hmac_sha1(b"", b"");
+        assert_eq!(hex(&mac), "fbdb1d1b18aa6c08324b7d64b71fb76370690e1d");
+    }
+
+    #[test]
+    fn constant_time_eq_behaviour() {
+        assert!(constant_time_eq(b"abcd", b"abcd"));
+        assert!(!constant_time_eq(b"abcd", b"abce"));
+        assert!(!constant_time_eq(b"abc", b"abcd"));
+        assert!(constant_time_eq(b"", b""));
+    }
+}

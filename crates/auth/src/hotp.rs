@@ -1,0 +1,101 @@
+//! HOTP: an HMAC-based one-time password algorithm (RFC 4226).
+//!
+//! WearLock's OTP module (paper §IV): phone and watch share a secret
+//! key `k` and counter `c` negotiated over Bluetooth; the token is
+//! `HMAC-SHA1(k, c)` passed through RFC 4226 *dynamic truncation* (DT),
+//! which extracts a uniformly distributed 31-bit value; decimal
+//! presentation takes that value modulo `10^digits`.
+
+use crate::hmac::hmac_sha1;
+
+/// The RFC 4226 dynamic truncation of an HMAC-SHA-1 digest: a 31-bit
+/// value (top bit masked) extracted at the offset named by the low
+/// nibble of the last byte.
+pub fn dynamic_truncate(digest: &[u8; 20]) -> u32 {
+    let offset = (digest[19] & 0x0f) as usize;
+    (u32::from(digest[offset] & 0x7f) << 24)
+        | (u32::from(digest[offset + 1]) << 16)
+        | (u32::from(digest[offset + 2]) << 8)
+        | u32::from(digest[offset + 3])
+}
+
+/// The 31-bit HOTP binary value for `(key, counter)` — WearLock sends
+/// this value (as 32 bits, top bit zero) over the acoustic channel.
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_auth::hotp::hotp_binary;
+/// // RFC 4226 Appendix D, count 0.
+/// assert_eq!(hotp_binary(b"12345678901234567890", 0), 0x4c93cf18);
+/// ```
+pub fn hotp_binary(key: &[u8], counter: u64) -> u32 {
+    let digest = hmac_sha1(key, &counter.to_be_bytes());
+    dynamic_truncate(&digest)
+}
+
+/// The `digits`-digit decimal HOTP code (`digits` in 6..=9 per the
+/// RFC; other values are accepted but lose the uniformity guarantee).
+pub fn hotp_decimal(key: &[u8], counter: u64, digits: u32) -> u32 {
+    hotp_binary(key, counter) % 10u32.pow(digits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RFC_KEY: &[u8] = b"12345678901234567890";
+
+    #[test]
+    fn rfc4226_appendix_d_intermediate_values() {
+        // The RFC's table of truncated hex values for counts 0..=9.
+        let expected: [u32; 10] = [
+            0x4c93cf18, 0x41397eea, 0x82fef30, 0x66ef7655, 0x61c5938a, 0x33c083d4, 0x7256c032,
+            0x4e5b397, 0x2823443f, 0x2679dc69,
+        ];
+        for (c, &want) in expected.iter().enumerate() {
+            assert_eq!(hotp_binary(RFC_KEY, c as u64), want, "count {c}");
+        }
+    }
+
+    #[test]
+    fn rfc4226_appendix_d_decimal_codes() {
+        let expected: [u32; 10] = [
+            755224, 287082, 359152, 969429, 338314, 254676, 287922, 162583, 399871, 520489,
+        ];
+        for (c, &want) in expected.iter().enumerate() {
+            assert_eq!(hotp_decimal(RFC_KEY, c as u64, 6), want, "count {c}");
+        }
+    }
+
+    #[test]
+    fn counter_changes_token() {
+        let a = hotp_binary(b"secret", 1);
+        let b = hotp_binary(b"secret", 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn key_changes_token() {
+        assert_ne!(hotp_binary(b"secret-a", 7), hotp_binary(b"secret-b", 7));
+    }
+
+    #[test]
+    fn top_bit_is_always_clear() {
+        for c in 0..200u64 {
+            assert_eq!(hotp_binary(b"any-key", c) >> 31, 0);
+        }
+    }
+
+    #[test]
+    fn truncation_offset_spans_digest() {
+        // Over many counters the DT offset (last nibble) should hit
+        // every position 0..=15; indirectly verified by output spread.
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..500u64 {
+            let digest = crate::hmac::hmac_sha1(b"spread", &c.to_be_bytes());
+            seen.insert(digest[19] & 0x0f);
+        }
+        assert_eq!(seen.len(), 16);
+    }
+}

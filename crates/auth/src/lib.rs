@@ -1,0 +1,41 @@
+//! # wearlock-auth
+//!
+//! One-time-password machinery for the WearLock reproduction
+//! (Yi et al., ICDCS 2017, §IV "Secure Unlocking").
+//!
+//! The phone and watch share a secret key and counter (negotiated over
+//! the secure wireless control channel); each unlock transmits a
+//! counter-based one-time password over the insecure acoustic channel:
+//!
+//! * [`sha1`] — SHA-1 (RFC 3174), from scratch with official vectors,
+//! * [`hmac`] — HMAC-SHA-1 (RFC 2104) and constant-time comparison,
+//! * [`hotp`] — HOTP with dynamic truncation (RFC 4226),
+//! * [`token`] — token bit codecs, repetition coding for the lossy
+//!   acoustic channel, and a counter-window verifier that detects
+//!   replays,
+//! * [`lockout`] — the three-consecutive-failure lockout policy.
+//!
+//! ## Example
+//!
+//! ```
+//! use wearlock_auth::token::{TokenGenerator, TokenVerifier, VerifyOutcome};
+//!
+//! let mut phone = TokenGenerator::new(&b"paired-secret"[..], 0);
+//! let mut watch = TokenVerifier::new(&b"paired-secret"[..], 0, 3);
+//! let token = phone.next_token();
+//! assert!(matches!(watch.verify(token), VerifyOutcome::Accepted { .. }));
+//! // Replaying the same recording fails.
+//! assert_eq!(watch.verify(token), VerifyOutcome::Replayed);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hmac;
+pub mod hotp;
+pub mod lockout;
+pub mod sha1;
+pub mod token;
+
+pub use lockout::LockoutPolicy;
+pub use token::{TokenGenerator, TokenVerifier, VerifyOutcome, TOKEN_BITS};

@@ -1,0 +1,119 @@
+//! Failure lockout policy.
+//!
+//! Paper §IV (brute force): "The smartphone will be locked up after
+//! three consecutive failures, which makes the brute force attack
+//! unrealistic." After lockout, acoustic unlocking is disabled and the
+//! user must fall back to PIN entry.
+
+/// Tracks consecutive acoustic-unlock failures and enforces lockout.
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_auth::lockout::LockoutPolicy;
+/// let mut p = LockoutPolicy::new(3);
+/// p.record_failure();
+/// p.record_failure();
+/// assert!(!p.is_locked_out());
+/// p.record_failure();
+/// assert!(p.is_locked_out());
+/// p.reset(); // e.g. after a successful PIN entry
+/// assert!(!p.is_locked_out());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockoutPolicy {
+    max_failures: u32,
+    consecutive_failures: u32,
+}
+
+impl LockoutPolicy {
+    /// Creates a policy allowing `max_failures` consecutive failures
+    /// (the paper uses 3). A `max_failures` of 0 locks out immediately
+    /// on the first failure.
+    pub fn new(max_failures: u32) -> Self {
+        LockoutPolicy {
+            max_failures,
+            consecutive_failures: 0,
+        }
+    }
+
+    /// The configured failure budget.
+    pub fn max_failures(&self) -> u32 {
+        self.max_failures
+    }
+
+    /// Consecutive failures recorded so far.
+    pub fn failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Whether acoustic unlocking is currently disabled.
+    pub fn is_locked_out(&self) -> bool {
+        self.consecutive_failures >= self.max_failures
+    }
+
+    /// Records a failed verification. Returns the new lockout state.
+    pub fn record_failure(&mut self) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        self.is_locked_out()
+    }
+
+    /// Records a successful verification, clearing the failure streak.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+    }
+
+    /// Manual reset (e.g. after a successful PIN fallback).
+    pub fn reset(&mut self) {
+        self.consecutive_failures = 0;
+    }
+}
+
+impl Default for LockoutPolicy {
+    /// The paper's three-strike policy.
+    fn default() -> Self {
+        LockoutPolicy::new(3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_strikes_locks_out() {
+        let mut p = LockoutPolicy::default();
+        assert!(!p.record_failure());
+        assert!(!p.record_failure());
+        assert!(p.record_failure());
+        assert!(p.is_locked_out());
+        assert_eq!(p.failures(), 3);
+    }
+
+    #[test]
+    fn success_clears_streak() {
+        let mut p = LockoutPolicy::default();
+        p.record_failure();
+        p.record_failure();
+        p.record_success();
+        assert_eq!(p.failures(), 0);
+        p.record_failure();
+        assert!(!p.is_locked_out());
+    }
+
+    #[test]
+    fn zero_budget_locks_immediately() {
+        let mut p = LockoutPolicy::new(0);
+        assert!(p.is_locked_out());
+        p.record_failure();
+        assert!(p.is_locked_out());
+    }
+
+    #[test]
+    fn counter_saturates() {
+        let mut p = LockoutPolicy::new(3);
+        p.consecutive_failures = u32::MAX;
+        p.record_failure();
+        assert_eq!(p.failures(), u32::MAX);
+    }
+}

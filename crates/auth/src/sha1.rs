@@ -1,0 +1,131 @@
+//! SHA-1 (RFC 3174), implemented from scratch.
+//!
+//! HOTP (RFC 4226) is defined over HMAC-SHA-1; the sanctioned offline
+//! dependency set has no crypto crate, so we implement the digest here
+//! with the official test vectors. SHA-1 is cryptographically broken
+//! for *collision resistance*, but HOTP only relies on its PRF
+//! properties, exactly as the RFC argues.
+
+/// Output size of SHA-1 in bytes.
+pub const DIGEST_LEN: usize = 20;
+
+/// Computes the SHA-1 digest of `data`.
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_auth::sha1::sha1;
+/// let d = sha1(b"abc");
+/// assert_eq!(
+///     d[..4],
+///     [0xa9, 0x99, 0x3e, 0x36],
+/// );
+/// ```
+pub fn sha1(data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut state: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+    // Message padding: 0x80, zeros, 64-bit big-endian bit length.
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+
+    let mut w = [0u32; 80];
+    for chunk in msg.chunks_exact(64) {
+        for (i, word) in chunk.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        state[0] = state[0].wrapping_add(a);
+        state[1] = state[1].wrapping_add(b);
+        state[2] = state[2].wrapping_add(c);
+        state[3] = state[3].wrapping_add(d);
+        state[4] = state[4].wrapping_add(e);
+    }
+
+    let mut out = [0u8; DIGEST_LEN];
+    for (i, s) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&s.to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc3174_test_vectors() {
+        // TEST1..TEST4 from RFC 3174 §7.3.
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        let test3: Vec<u8> = std::iter::repeat(b'a').take(1_000_000).collect();
+        assert_eq!(hex(&sha1(&test3)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        let test4: Vec<u8> = b"0123456701234567012345670123456701234567012345670123456701234567"
+            .iter()
+            .copied()
+            .cycle()
+            .take(64 * 10)
+            .collect();
+        assert_eq!(hex(&sha1(&test4)), "dea356a2cddd90c7a7ecedc5ebb563934f460452");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn padding_boundaries() {
+        // Lengths around the 55/56/64-byte padding edges.
+        for len in [55usize, 56, 57, 63, 64, 65] {
+            let data = vec![0x61u8; len];
+            let d = sha1(&data);
+            assert_eq!(d.len(), DIGEST_LEN);
+            // Digest must differ from the digest of length len+1.
+            let d2 = sha1(&vec![0x61u8; len + 1]);
+            assert_ne!(d, d2);
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let a = sha1(b"wearlock token 0001");
+        let b = sha1(b"wearlock token 0000");
+        let differing: u32 = a.iter().zip(&b).map(|(x, y)| (x ^ y).count_ones()).sum();
+        // Avalanche: roughly half the 160 bits should flip.
+        assert!(differing > 40, "only {differing} bits differ");
+    }
+}

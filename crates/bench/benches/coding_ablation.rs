@@ -1,0 +1,33 @@
+//! Ablation: token channel coding over the real acoustic link —
+//! rotated repetition (the deployment default) vs the K=7 rate-1/2
+//! convolutional code, at the decode-throughput level. Token-recovery
+//! robustness of both schemes is asserted in the integration tests;
+//! here Criterion measures their CPU cost, which is what the watch
+//! pays when processing locally.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wearlock_auth::token::{repetition_decode, repetition_encode};
+use wearlock_modem::coding::{conv_encode, viterbi_decode};
+
+fn bench_coding(c: &mut Criterion) {
+    let bits: Vec<bool> = (0..32).map(|i| i % 3 == 0).collect();
+
+    let rep = repetition_encode(&bits, 5);
+    c.bench_function("encode_repetition5_32bit", |b| {
+        b.iter(|| repetition_encode(std::hint::black_box(&bits), 5))
+    });
+    c.bench_function("decode_repetition5_32bit", |b| {
+        b.iter(|| repetition_decode(std::hint::black_box(&rep), 32, 5))
+    });
+
+    let conv = conv_encode(&bits);
+    c.bench_function("encode_conv_k7_32bit", |b| {
+        b.iter(|| conv_encode(std::hint::black_box(&bits)))
+    });
+    c.bench_function("decode_viterbi_k7_32bit", |b| {
+        b.iter(|| viterbi_decode(std::hint::black_box(&conv), 32))
+    });
+}
+
+criterion_group!(benches, bench_coding);
+criterion_main!(benches);

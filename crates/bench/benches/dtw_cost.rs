@@ -1,0 +1,23 @@
+//! DTW cost on this host across the paper's 50-150 sample range — the
+//! measurement behind Table II's Cost(ms) column (scaled to the watch
+//! by the platform device model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wearlock_sensors::activity::{synthesize_pair, Activity};
+use wearlock_sensors::dtw::dtw_score;
+
+fn bench_dtw(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    for n in [50usize, 100, 150] {
+        let (p, w) = synthesize_pair(Activity::Walking, n, &mut rng);
+        let (pm, wm) = (p.magnitude(), w.magnitude());
+        c.bench_function(&format!("dtw_score_{n}x{n}"), |b| {
+            b.iter(|| dtw_score(std::hint::black_box(&pm), std::hint::black_box(&wm)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_dtw);
+criterion_main!(benches);

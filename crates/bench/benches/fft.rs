@@ -1,0 +1,56 @@
+//! Microbenchmarks of the DSP substrate's hot paths: the 256-point FFT
+//! the modem runs per OFDM block, and preamble cross-correlation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wearlock_dsp::chirp::Chirp;
+use wearlock_dsp::correlate::normalized_cross_correlate;
+use wearlock_dsp::units::{Hz, SampleRate};
+use wearlock_dsp::{Complex, Fft};
+
+fn bench_fft(c: &mut Criterion) {
+    let fft = Fft::new(256).unwrap();
+    let x: Vec<Complex> = (0..256)
+        .map(|i| Complex::new((i as f64 * 0.1).sin(), (i as f64 * 0.07).cos()))
+        .collect();
+    c.bench_function("fft_256_forward", |b| {
+        b.iter(|| fft.forward(std::hint::black_box(&x)).unwrap())
+    });
+    c.bench_function("fft_256_roundtrip", |b| {
+        b.iter(|| {
+            let spec = fft.forward(std::hint::black_box(&x)).unwrap();
+            fft.inverse(&spec).unwrap()
+        })
+    });
+}
+
+fn bench_xcorr_fft_vs_direct(c: &mut Criterion) {
+    use wearlock_dsp::correlate::{cross_correlate, cross_correlate_fft};
+    let tpl: Vec<f64> = (0..256).map(|i| (i as f64 * 0.21).sin()).collect();
+    let sig: Vec<f64> = (0..20_000).map(|i| (i as f64 * 0.037).sin()).collect();
+    c.bench_function("xcorr_direct_20k", |b| {
+        b.iter(|| cross_correlate(std::hint::black_box(&sig), &tpl).unwrap())
+    });
+    c.bench_function("xcorr_fft_20k", |b| {
+        b.iter(|| cross_correlate_fft(std::hint::black_box(&sig), &tpl).unwrap())
+    });
+}
+
+fn bench_xcorr(c: &mut Criterion) {
+    let chirp = Chirp::new(Hz(1_000.0), Hz(6_000.0), 256, SampleRate::CD).unwrap();
+    let template = chirp.generate();
+    let mut signal = vec![0.0; 4_666]; // the session's bounded search window
+    for (i, s) in signal.iter_mut().enumerate() {
+        *s = (i as f64 * 0.13).sin() * 0.1;
+    }
+    signal[2_000..2_256].copy_from_slice(&template);
+    c.bench_function("preamble_search_4666", |b| {
+        b.iter_batched(
+            || signal.clone(),
+            |s| normalized_cross_correlate(&s, &template).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_fft, bench_xcorr, bench_xcorr_fft_vs_direct);
+criterion_main!(benches);

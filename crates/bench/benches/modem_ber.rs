@@ -1,0 +1,27 @@
+//! Modem TX/RX throughput: the cost of modulating and demodulating one
+//! token frame (the work behind Fig. 5's measurement loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wearlock_modem::config::OfdmConfig;
+use wearlock_modem::constellation::Modulation;
+use wearlock_modem::{OfdmDemodulator, OfdmModulator};
+
+fn bench_modem(c: &mut Criterion) {
+    let cfg = OfdmConfig::default();
+    let tx = OfdmModulator::new(cfg.clone()).unwrap();
+    let rx = OfdmDemodulator::new(cfg).unwrap();
+    let bits: Vec<bool> = (0..160).map(|i| i % 3 == 0).collect();
+
+    for m in [Modulation::Qask, Modulation::Qpsk, Modulation::Psk8] {
+        c.bench_function(&format!("modulate_160bit_{m}"), |b| {
+            b.iter(|| tx.modulate(std::hint::black_box(&bits), m).unwrap())
+        });
+        let wave = tx.modulate(&bits, m).unwrap();
+        c.bench_function(&format!("demodulate_160bit_{m}"), |b| {
+            b.iter(|| rx.demodulate(std::hint::black_box(&wave), m, bits.len()).unwrap())
+        });
+    }
+}
+
+criterion_group!(benches, bench_modem);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! End-to-end pipeline stages on this host: probe analysis and the full
+//! unlock attempt (the real-code counterpart of Fig. 10's per-phase
+//! breakdown, which the platform device model scales to Android
+//! hardware).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wearlock::config::WearLockConfig;
+use wearlock::environment::Environment;
+use wearlock::session::UnlockSession;
+use wearlock_acoustics::channel::AcousticLink;
+use wearlock_acoustics::noise::Location;
+use wearlock_dsp::units::{Meters, Spl};
+use wearlock_modem::config::OfdmConfig;
+use wearlock_modem::{OfdmDemodulator, OfdmModulator};
+
+fn bench_probe_analysis(c: &mut Criterion) {
+    let cfg = OfdmConfig::default();
+    let tx = OfdmModulator::new(cfg.clone()).unwrap();
+    let rx = OfdmDemodulator::new(cfg).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let link = AcousticLink::builder()
+        .distance(Meters(0.3))
+        .noise(Location::Office.noise_model())
+        .build()
+        .unwrap();
+    let rec = link.transmit(&tx.probe(2).unwrap(), Spl(70.0), &mut rng);
+    c.bench_function("phase1_probe_analysis", |b| {
+        b.iter(|| rx.analyze_probe(std::hint::black_box(&rec)))
+    });
+}
+
+fn bench_full_attempt(c: &mut Criterion) {
+    let env = Environment::default();
+    c.bench_function("full_unlock_attempt", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut session = UnlockSession::new(WearLockConfig::default()).unwrap();
+        b.iter(|| {
+            let r = session.attempt(std::hint::black_box(&env), &mut rng);
+            session.enter_pin();
+            r
+        })
+    });
+}
+
+criterion_group!(benches, bench_probe_analysis, bench_full_attempt);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Figures 10 and 11: per-phase computation delay on each device, and
+//! communication delay per transport and payload type.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wearlock_platform::device::{DeviceModel, Workload};
+use wearlock_platform::link::{Transport, WirelessLink};
+
+/// Per-phase compute times for one device (Fig. 10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DevicePhases {
+    /// The device measured.
+    pub device: String,
+    /// Phase-1 channel-probing processing, seconds.
+    pub phase1_probing_s: f64,
+    /// Phase-2 pre-processing (detection/sync), seconds.
+    pub phase2_preprocess_s: f64,
+    /// Phase-2 demodulation, seconds.
+    pub phase2_demod_s: f64,
+}
+
+/// The workload sizes of one unlock (post-trim, as the session uses).
+fn phase_workloads() -> (Workload, Workload, Workload) {
+    let probe = Workload::combined(&[
+        Workload::CrossCorrelation {
+            signal_len: 4_666,
+            template_len: 256,
+        },
+        Workload::Fft {
+            size: 256,
+            count: 10,
+        },
+        Workload::LevelMeasure { samples: 16_000 },
+    ]);
+    let preprocess = Workload::combined(&[
+        Workload::CrossCorrelation {
+            signal_len: 4_666,
+            template_len: 256,
+        },
+        Workload::LevelMeasure { samples: 8_000 },
+    ]);
+    let demod = Workload::OfdmDemod {
+        blocks: 7,
+        fft_size: 256,
+        cp_len: 128,
+    };
+    (probe, preprocess, demod)
+}
+
+/// Figure 10: the three phases on the three devices.
+pub fn fig10() -> Vec<DevicePhases> {
+    let (probe, preprocess, demod) = phase_workloads();
+    [
+        DeviceModel::nexus6(),
+        DeviceModel::galaxy_nexus(),
+        DeviceModel::moto360(),
+    ]
+    .iter()
+    .map(|d| DevicePhases {
+        device: d.name().to_string(),
+        phase1_probing_s: d.execute(&probe).value(),
+        phase2_preprocess_s: d.execute(&preprocess).value(),
+        phase2_demod_s: d.execute(&demod).value(),
+    })
+    .collect()
+}
+
+/// A communication-delay measurement (Fig. 11).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkDelay {
+    /// The transport measured.
+    pub transport: Transport,
+    /// Payload description.
+    pub payload: &'static str,
+    /// Mean delay over the repetitions, seconds.
+    pub mean_s: f64,
+    /// Minimum observed, seconds.
+    pub min_s: f64,
+    /// Maximum observed, seconds.
+    pub max_s: f64,
+}
+
+/// Figure 11: message and audio-clip transfer delays over both
+/// transports, `reps` repetitions each (paper: at least 20).
+pub fn fig11(reps: usize, seed: u64) -> Vec<LinkDelay> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clip_bytes = 22_000; // ~0.25 s of trimmed 16-bit PCM
+    let mut out = Vec::new();
+    for transport in [Transport::Bluetooth, Transport::Wifi] {
+        let link = WirelessLink::new(transport);
+        for (payload, f) in [
+            (
+                "message",
+                Box::new(|r: &mut StdRng| link.message_delay(r).value())
+                    as Box<dyn Fn(&mut StdRng) -> f64>,
+            ),
+            (
+                "audio clip",
+                Box::new(move |r: &mut StdRng| link.file_delay(clip_bytes, r).value()),
+            ),
+        ] {
+            let xs: Vec<f64> = (0..reps.max(1)).map(|_| f(&mut rng)).collect();
+            out.push(LinkDelay {
+                transport,
+                payload,
+                mean_s: xs.iter().sum::<f64>() / xs.len() as f64,
+                min_s: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+                max_s: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,69 @@
+//! Figure 4: receiver SPL vs distance for several volume settings.
+//!
+//! Paper setup: quiet room (15–20 dB SPL ambient), line of sight; the
+//! measured attenuation matches spherical spreading — about 6 dB per
+//! distance doubling.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wearlock_acoustics::channel::AcousticLink;
+use wearlock_acoustics::hardware::MicrophoneModel;
+use wearlock_acoustics::noise::Location;
+use wearlock_dsp::level::spl;
+use wearlock_dsp::units::{Meters, Spl};
+
+/// One measured point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplPoint {
+    /// Transmit volume (speaker SPL).
+    pub volume: Spl,
+    /// Distance.
+    pub distance: Meters,
+    /// SPL measured at the receiver.
+    pub received: Spl,
+}
+
+/// Runs the sweep: `volumes` × `distances`, one tone burst each.
+pub fn sweep(volumes: &[f64], distances: &[f64], seed: u64) -> Vec<SplPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tone: Vec<f64> = (0..8_192)
+        .map(|i| (std::f64::consts::TAU * 3_000.0 * i as f64 / 44_100.0).sin())
+        .collect();
+    let mut out = Vec::new();
+    for &v in volumes {
+        for &d in distances {
+            let link = AcousticLink::builder()
+                .distance(Meters(d))
+                .noise(Location::QuietRoom.noise_model())
+                .microphone(MicrophoneModel::ideal())
+                .padding(0, 0)
+                .build()
+                .expect("valid distance");
+            let rec = link.transmit(&tone, Spl(v), &mut rng);
+            // Skip propagation delay and edges when measuring.
+            let body = &rec[1_024..rec.len().saturating_sub(1_024).max(1_025)];
+            out.push(SplPoint {
+                volume: Spl(v),
+                distance: Meters(d),
+                received: spl(body),
+            });
+        }
+    }
+    out
+}
+
+/// Average attenuation per distance doubling over a sweep, in dB.
+pub fn attenuation_per_doubling(points: &[SplPoint]) -> f64 {
+    let mut diffs = Vec::new();
+    for a in points {
+        for b in points {
+            if (b.distance.value() - 2.0 * a.distance.value()).abs() < 1e-9
+                && a.volume == b.volume
+            {
+                diffs.push(a.received.value() - b.received.value());
+            }
+        }
+    }
+    diffs.iter().sum::<f64>() / diffs.len().max(1) as f64
+}

@@ -1,0 +1,81 @@
+//! Figure 6: time (a) and power (b) of offloading vs local processing
+//! on the wearable, over 50 acoustic-unlock rounds.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wearlock::config::ExecutionPlan;
+use wearlock::offload::step_cost;
+use wearlock_platform::device::{DeviceModel, Workload};
+use wearlock_platform::link::WirelessLink;
+
+/// Aggregate of the 50-round comparison for one plan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanCost {
+    /// The plan measured.
+    pub plan: ExecutionPlan,
+    /// Mean per-round processing wall time, seconds.
+    pub mean_time_s: f64,
+    /// Total watch battery energy over all rounds, joules.
+    pub watch_energy_j: f64,
+    /// Total watch battery fraction consumed.
+    pub watch_battery_fraction: f64,
+}
+
+/// One unlock round's processing workload (post-trim sizes).
+fn round_workload() -> (Workload, usize) {
+    let samples = 11_000;
+    (
+        Workload::combined(&[
+            // Bounded preamble searches (±50 ms windows) in both phases.
+            Workload::CrossCorrelation {
+                signal_len: 4_666,
+                template_len: 256,
+            },
+            Workload::Fft {
+                size: 256,
+                count: 10,
+            },
+            Workload::CrossCorrelation {
+                signal_len: 4_666,
+                template_len: 256,
+            },
+            Workload::OfdmDemod {
+                blocks: 7,
+                fft_size: 256,
+                cp_len: 128,
+            },
+        ]),
+        samples,
+    )
+}
+
+/// Runs the 50-round comparison (paper: "we run our system for 50
+/// rounds of acoustic unlocking").
+pub fn run(rounds: usize, seed: u64) -> (PlanCost, PlanCost) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let phone = DeviceModel::nexus6();
+    let watch = DeviceModel::moto360();
+    let link = WirelessLink::wifi();
+    let (work, samples) = round_workload();
+
+    let mut run_plan = |plan: ExecutionPlan| -> PlanCost {
+        let mut time = 0.0;
+        let mut watch_j = 0.0;
+        for _ in 0..rounds {
+            let c = step_cost(plan, &work, samples, &phone, &watch, &link, &mut rng);
+            time += c.time.value();
+            watch_j += c.watch_energy_j;
+        }
+        PlanCost {
+            plan,
+            mean_time_s: time / rounds.max(1) as f64,
+            watch_energy_j: watch_j,
+            watch_battery_fraction: watch.battery_fraction(watch_j),
+        }
+    };
+    (
+        run_plan(ExecutionPlan::LocalOnWatch),
+        run_plan(ExecutionPlan::OffloadToPhone),
+    )
+}

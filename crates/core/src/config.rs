@@ -1,0 +1,554 @@
+//! System configuration.
+
+use wearlock_acoustics::hardware::{MicrophoneModel, SpeakerModel};
+use wearlock_dsp::units::{Db, Meters, Spl};
+use wearlock_modem::config::{FrequencyBand, OfdmConfig};
+use wearlock_modem::coding::TokenCoding;
+use wearlock_modem::ModePolicy;
+use wearlock_platform::device::DeviceModel;
+use wearlock_platform::link::Transport;
+use wearlock_sensors::MotionFilter;
+
+use crate::error::WearLockError;
+
+/// Where the heavy DSP of an unlock attempt runs (paper §V).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecutionPlan {
+    /// Everything runs on the watch; only the verdict crosses the link.
+    LocalOnWatch,
+    /// The watch ships its recordings to the phone, which computes.
+    OffloadToPhone,
+}
+
+/// The paper's three evaluation configurations (Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NamedConfig {
+    /// Config1: offload over WiFi to a Nexus 6 (fastest).
+    Config1,
+    /// Config2: offload over Bluetooth to a Galaxy Nexus (slowest
+    /// offloaded).
+    Config2,
+    /// Config3: local processing on the Moto 360.
+    Config3,
+}
+
+impl NamedConfig {
+    /// All three named configurations.
+    pub const ALL: [NamedConfig; 3] =
+        [NamedConfig::Config1, NamedConfig::Config2, NamedConfig::Config3];
+
+    /// The (phone, transport, plan) triple of this configuration.
+    pub fn parts(self) -> (DeviceModel, Transport, ExecutionPlan) {
+        match self {
+            NamedConfig::Config1 => (
+                DeviceModel::nexus6(),
+                Transport::Wifi,
+                ExecutionPlan::OffloadToPhone,
+            ),
+            NamedConfig::Config2 => (
+                DeviceModel::galaxy_nexus(),
+                Transport::Bluetooth,
+                ExecutionPlan::OffloadToPhone,
+            ),
+            NamedConfig::Config3 => (
+                DeviceModel::nexus6(),
+                Transport::Bluetooth,
+                ExecutionPlan::LocalOnWatch,
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for NamedConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NamedConfig::Config1 => f.write_str("Config1 (WiFi + Nexus 6)"),
+            NamedConfig::Config2 => f.write_str("Config2 (BT + Galaxy Nexus)"),
+            NamedConfig::Config3 => f.write_str("Config3 (local on Moto 360)"),
+        }
+    }
+}
+
+/// Full WearLock system configuration.
+#[derive(Debug, Clone)]
+pub struct WearLockConfig {
+    pub(crate) modem: OfdmConfig,
+    pub(crate) policy: ModePolicy,
+    pub(crate) motion_filter: MotionFilter,
+    pub(crate) otp_key: Vec<u8>,
+    pub(crate) otp_counter: u64,
+    pub(crate) otp_window: u64,
+    pub(crate) repetition: usize,
+    pub(crate) token_coding: TokenCoding,
+    pub(crate) secure_range: Meters,
+    pub(crate) nlos_spread_threshold: f64,
+    pub(crate) nlos_score_threshold: f64,
+    pub(crate) nlos_relax_max_ber: Option<f64>,
+    pub(crate) ambient_similarity_threshold: f64,
+    pub(crate) replay_window: f64,
+    pub(crate) phone: DeviceModel,
+    pub(crate) watch: DeviceModel,
+    pub(crate) transport: Transport,
+    pub(crate) plan: ExecutionPlan,
+    pub(crate) speaker: SpeakerModel,
+    pub(crate) max_failures: u32,
+    pub(crate) probe_blocks: usize,
+    pub(crate) subchannel_selection: bool,
+    pub(crate) min_volume: Spl,
+}
+
+impl WearLockConfig {
+    /// Starts building a configuration from the paper defaults.
+    pub fn builder() -> WearLockConfigBuilder {
+        WearLockConfigBuilder::default()
+    }
+
+    /// The OFDM modem configuration.
+    pub fn modem(&self) -> &OfdmConfig {
+        &self.modem
+    }
+
+    /// The adaptive modulation policy.
+    pub fn policy(&self) -> ModePolicy {
+        self.policy
+    }
+
+    /// The motion filter.
+    pub fn motion_filter(&self) -> MotionFilter {
+        self.motion_filter
+    }
+
+    /// The secure range the volume control targets.
+    pub fn secure_range(&self) -> Meters {
+        self.secure_range
+    }
+
+    /// The execution plan.
+    pub fn plan(&self) -> ExecutionPlan {
+        self.plan
+    }
+
+    /// The wireless transport.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// Phone device model.
+    pub fn phone(&self) -> &DeviceModel {
+        &self.phone
+    }
+
+    /// Watch device model.
+    pub fn watch(&self) -> &DeviceModel {
+        &self.watch
+    }
+
+    /// Token repetition factor for the acoustic channel.
+    pub fn repetition(&self) -> usize {
+        self.repetition
+    }
+
+    /// The token channel-coding scheme.
+    pub fn token_coding(&self) -> TokenCoding {
+        self.token_coding
+    }
+
+    /// Number of pilot blocks in the RTS probe.
+    pub fn probe_blocks(&self) -> usize {
+        self.probe_blocks
+    }
+
+    /// Replay timing window in seconds.
+    pub fn replay_window(&self) -> f64 {
+        self.replay_window
+    }
+
+    /// The shared OTP secret.
+    pub fn otp_key(&self) -> &[u8] {
+        &self.otp_key
+    }
+
+    /// The microphone the receiving device uses: the watch's band-
+    /// limited microphone in the audible phone→watch pairing, a phone
+    /// microphone for the near-ultrasound phone→phone pairing.
+    pub fn receiver_microphone(&self) -> MicrophoneModel {
+        match self.modem.band() {
+            FrequencyBand::Audible => MicrophoneModel::moto360(),
+            FrequencyBand::NearUltrasound => MicrophoneModel::smartphone(),
+        }
+    }
+
+    /// The transmit volume needed so a receiver at the secure range
+    /// clears the policy's minimal Eb/N0 over `noise` (the paper's
+    /// volume-control rule), clamped to the speaker's ceiling and the
+    /// configured minimum.
+    pub fn required_volume(&self, noise: Spl) -> Spl {
+        // Calibrated gap between the total-SPL noise reading and the
+        // effective per-sub-channel noise plus front-end losses on this
+        // simulator, measured with the `repro` harness: an Eb/N0 of
+        // `volume − noise − 13 dB` arrives at 1 m, while the physical
+        // spreading-loss formula alone predicts 8 dB more.
+        const CALIBRATION_DB: f64 = 8.0;
+        let min_ebn0 = Db(self.policy.min_ebn0().value() + 2.5); // small head-room
+        // Eb/N0 → required C/N via B/R of the deciding mode.
+        let mode = wearlock_modem::TransmissionMode::Qpsk;
+        let b = self.modem.occupied_bandwidth().value();
+        let r = self.modem.data_rate(mode.bits_per_symbol());
+        let min_snr = Db(min_ebn0.value() - 10.0 * (b / r).log10() - CALIBRATION_DB);
+        let prop = wearlock_acoustics::Propagation::spherical(Meters(0.05))
+            .expect("static reference distance");
+        let req = prop.required_tx_spl(self.secure_range, noise, min_snr);
+        let clamped = req
+            .value()
+            .max(self.min_volume.value())
+            .min(self.speaker.max_spl().value());
+        Spl(clamped)
+    }
+}
+
+impl Default for WearLockConfig {
+    fn default() -> Self {
+        WearLockConfig::builder()
+            .build()
+            .expect("default config is valid")
+    }
+}
+
+/// Builder for [`WearLockConfig`].
+#[derive(Debug, Clone)]
+pub struct WearLockConfigBuilder {
+    band: FrequencyBand,
+    modem: Option<OfdmConfig>,
+    max_ber: f64,
+    motion_filter: MotionFilter,
+    otp_key: Vec<u8>,
+    otp_counter: u64,
+    otp_window: u64,
+    repetition: usize,
+    token_coding: Option<TokenCoding>,
+    secure_range: Meters,
+    nlos_spread_threshold: f64,
+    nlos_score_threshold: f64,
+    nlos_relax_max_ber: Option<f64>,
+    ambient_similarity_threshold: f64,
+    replay_window: f64,
+    named: Option<NamedConfig>,
+    transport: Transport,
+    plan: ExecutionPlan,
+    speaker: SpeakerModel,
+    max_failures: u32,
+    probe_blocks: usize,
+    subchannel_selection: bool,
+    min_volume: Spl,
+}
+
+impl Default for WearLockConfigBuilder {
+    fn default() -> Self {
+        WearLockConfigBuilder {
+            band: FrequencyBand::Audible,
+            modem: None,
+            max_ber: 0.1,
+            motion_filter: MotionFilter::default(),
+            otp_key: b"wearlock-shared-secret".to_vec(),
+            otp_counter: 0,
+            otp_window: 3,
+            repetition: 5,
+            token_coding: None,
+            secure_range: Meters(1.0),
+            nlos_spread_threshold: 6e-4,
+            nlos_score_threshold: 0.05,
+            nlos_relax_max_ber: None,
+            ambient_similarity_threshold: 0.35,
+            replay_window: 0.25,
+            named: Some(NamedConfig::Config1),
+            transport: Transport::Wifi,
+            plan: ExecutionPlan::OffloadToPhone,
+            speaker: SpeakerModel::smartphone(),
+            max_failures: 3,
+            probe_blocks: 2,
+            subchannel_selection: true,
+            min_volume: Spl(42.0),
+        }
+    }
+}
+
+impl WearLockConfigBuilder {
+    /// Sets the acoustic band (default audible 1–6 kHz).
+    pub fn band(mut self, band: FrequencyBand) -> Self {
+        self.band = band;
+        self
+    }
+
+    /// Sets an explicit modem configuration (overrides `band`).
+    pub fn modem(mut self, modem: OfdmConfig) -> Self {
+        self.modem = Some(modem);
+        self
+    }
+
+    /// Sets the BER ceiling for adaptive modulation (default 0.1).
+    pub fn max_ber(mut self, max_ber: f64) -> Self {
+        self.max_ber = max_ber;
+        self
+    }
+
+    /// Sets the motion filter thresholds.
+    pub fn motion_filter(mut self, filter: MotionFilter) -> Self {
+        self.motion_filter = filter;
+        self
+    }
+
+    /// Sets the shared OTP secret.
+    pub fn otp_key(mut self, key: impl Into<Vec<u8>>) -> Self {
+        self.otp_key = key.into();
+        self
+    }
+
+    /// Sets the initial OTP counter (default 0).
+    pub fn otp_counter(mut self, counter: u64) -> Self {
+        self.otp_counter = counter;
+        self
+    }
+
+    /// Sets the OTP resynchronization window (default 3).
+    pub fn otp_window(mut self, window: u64) -> Self {
+        self.otp_window = window;
+        self
+    }
+
+    /// Sets the token repetition factor (default 5). Only meaningful
+    /// for the repetition coding scheme.
+    pub fn repetition(mut self, repetition: usize) -> Self {
+        self.repetition = repetition;
+        self
+    }
+
+    /// Sets the token channel coding explicitly (default: repetition
+    /// with the configured factor).
+    pub fn token_coding(mut self, coding: TokenCoding) -> Self {
+        self.token_coding = Some(coding);
+        self
+    }
+
+    /// Sets the secure range (default 1 m).
+    pub fn secure_range(mut self, range: Meters) -> Self {
+        self.secure_range = range;
+        self
+    }
+
+    /// Sets the NLOS RMS-delay-spread threshold `τ*` in seconds.
+    pub fn nlos_spread_threshold(mut self, tau: f64) -> Self {
+        self.nlos_spread_threshold = tau;
+        self
+    }
+
+    /// Sets the minimum preamble score below which transmission aborts
+    /// (default 0.05, the paper's threshold).
+    pub fn nlos_score_threshold(mut self, score: f64) -> Self {
+        self.nlos_score_threshold = score;
+        self
+    }
+
+    /// Instead of aborting on an NLOS flag, relax the BER target to
+    /// this value and continue (the case study's corrected protocol).
+    pub fn nlos_relax_max_ber(mut self, max_ber: Option<f64>) -> Self {
+        self.nlos_relax_max_ber = max_ber;
+        self
+    }
+
+    /// Sets the ambient-similarity threshold in `[0, 1]` (default 0.35).
+    pub fn ambient_similarity_threshold(mut self, t: f64) -> Self {
+        self.ambient_similarity_threshold = t;
+        self
+    }
+
+    /// Sets the replay timing window in seconds (default 0.25).
+    pub fn replay_window(mut self, seconds: f64) -> Self {
+        self.replay_window = seconds;
+        self
+    }
+
+    /// Applies one of the paper's named configurations (device,
+    /// transport, plan).
+    pub fn named(mut self, named: NamedConfig) -> Self {
+        self.named = Some(named);
+        self
+    }
+
+    /// Overrides the transport (clears any named config).
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.transport = transport;
+        self.named = None;
+        self
+    }
+
+    /// Overrides the execution plan (clears any named config).
+    pub fn plan(mut self, plan: ExecutionPlan) -> Self {
+        self.plan = plan;
+        self.named = None;
+        self
+    }
+
+    /// Sets the phone speaker model.
+    pub fn speaker(mut self, speaker: SpeakerModel) -> Self {
+        self.speaker = speaker;
+        self
+    }
+
+    /// Sets the lockout failure budget (default 3).
+    pub fn max_failures(mut self, n: u32) -> Self {
+        self.max_failures = n;
+        self
+    }
+
+    /// Sets the number of probe pilot blocks (default 2).
+    pub fn probe_blocks(mut self, blocks: usize) -> Self {
+        self.probe_blocks = blocks;
+        self
+    }
+
+    /// Enables/disables sub-channel selection (default on).
+    pub fn subchannel_selection(mut self, on: bool) -> Self {
+        self.subchannel_selection = on;
+        self
+    }
+
+    /// Sets the minimum transmit volume (default 42 dB SPL).
+    pub fn min_volume(mut self, volume: Spl) -> Self {
+        self.min_volume = volume;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WearLockError::InvalidConfig`] for empty keys, a zero
+    /// repetition, or invalid sub-component parameters.
+    pub fn build(self) -> Result<WearLockConfig, WearLockError> {
+        if self.otp_key.is_empty() {
+            return Err(WearLockError::InvalidConfig("otp key is empty".into()));
+        }
+        if self.repetition == 0 {
+            return Err(WearLockError::InvalidConfig(
+                "token repetition must be >= 1".into(),
+            ));
+        }
+        if !(self.secure_range.value() > 0.0) {
+            return Err(WearLockError::InvalidConfig(
+                "secure range must be positive".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.ambient_similarity_threshold) {
+            return Err(WearLockError::InvalidConfig(
+                "ambient similarity threshold must be in [0, 1]".into(),
+            ));
+        }
+        let modem = match self.modem {
+            Some(m) => m,
+            None => OfdmConfig::builder().band(self.band).build()?,
+        };
+        let policy = ModePolicy::new(self.max_ber)?;
+        let (phone, transport, plan) = match self.named {
+            Some(named) => named.parts(),
+            None => (DeviceModel::nexus6(), self.transport, self.plan),
+        };
+        Ok(WearLockConfig {
+            modem,
+            policy,
+            motion_filter: self.motion_filter,
+            otp_key: self.otp_key,
+            otp_counter: self.otp_counter,
+            otp_window: self.otp_window,
+            repetition: self.repetition,
+            token_coding: self
+                .token_coding
+                .unwrap_or(TokenCoding::Repetition(self.repetition)),
+            secure_range: self.secure_range,
+            nlos_spread_threshold: self.nlos_spread_threshold,
+            nlos_score_threshold: self.nlos_score_threshold,
+            nlos_relax_max_ber: self.nlos_relax_max_ber,
+            ambient_similarity_threshold: self.ambient_similarity_threshold,
+            replay_window: self.replay_window,
+            phone,
+            watch: DeviceModel::moto360(),
+            transport,
+            plan,
+            speaker: self.speaker,
+            max_failures: self.max_failures,
+            probe_blocks: self.probe_blocks.max(1),
+            subchannel_selection: self.subchannel_selection,
+            min_volume: self.min_volume,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_paper_setup() {
+        let cfg = WearLockConfig::default();
+        assert_eq!(cfg.modem().fft_size(), 256);
+        assert_eq!(cfg.policy().max_ber(), 0.1);
+        assert_eq!(cfg.secure_range(), Meters(1.0));
+        assert_eq!(cfg.plan(), ExecutionPlan::OffloadToPhone);
+        assert_eq!(cfg.transport(), Transport::Wifi);
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(WearLockConfig::builder().otp_key(Vec::new()).build().is_err());
+        assert!(WearLockConfig::builder().repetition(0).build().is_err());
+        assert!(WearLockConfig::builder()
+            .secure_range(Meters(0.0))
+            .build()
+            .is_err());
+        assert!(WearLockConfig::builder()
+            .ambient_similarity_threshold(1.5)
+            .build()
+            .is_err());
+        assert!(WearLockConfig::builder().max_ber(0.9).build().is_err());
+    }
+
+    #[test]
+    fn named_configs_map_to_parts() {
+        let (d1, t1, p1) = NamedConfig::Config1.parts();
+        assert_eq!(d1.name(), "Nexus 6");
+        assert_eq!(t1, Transport::Wifi);
+        assert_eq!(p1, ExecutionPlan::OffloadToPhone);
+        let (_, t3, p3) = NamedConfig::Config3.parts();
+        assert_eq!(t3, Transport::Bluetooth);
+        assert_eq!(p3, ExecutionPlan::LocalOnWatch);
+    }
+
+    #[test]
+    fn receiver_microphone_tracks_band() {
+        let audible = WearLockConfig::default();
+        assert!(audible.receiver_microphone().cutoff().unwrap().value() < 10_000.0);
+        let ultra = WearLockConfig::builder()
+            .band(FrequencyBand::NearUltrasound)
+            .build()
+            .unwrap();
+        assert!(ultra.receiver_microphone().cutoff().unwrap().value() > 20_000.0);
+    }
+
+    #[test]
+    fn required_volume_rises_with_noise() {
+        let cfg = WearLockConfig::default();
+        let quiet = cfg.required_volume(Spl(18.0));
+        let loud = cfg.required_volume(Spl(55.0));
+        assert!(loud > quiet, "quiet {quiet} loud {loud}");
+        // Never above the speaker ceiling.
+        assert!(loud.value() <= 85.0 + 1e-9);
+    }
+
+    #[test]
+    fn band_shortcut_builds_shifted_modem() {
+        let cfg = WearLockConfig::builder()
+            .band(FrequencyBand::NearUltrasound)
+            .build()
+            .unwrap();
+        assert!(cfg.modem().data_channels()[0] > 80);
+    }
+}

@@ -1,0 +1,205 @@
+//! Total-delay comparison harness (Figs. 10–12).
+//!
+//! Breaks one unlock attempt's wall-clock into the paper's categories —
+//! phase-1 channel-probing processing, phase-2 pre-processing, phase-2
+//! demodulation, and communication — for each named configuration, and
+//! compares the total against manual PIN entry.
+
+use rand::Rng;
+
+use wearlock_dsp::units::Seconds;
+use wearlock_platform::pin::PinEntryModel;
+
+use crate::config::{NamedConfig, WearLockConfig};
+use crate::environment::Environment;
+use crate::session::{Outcome, UnlockSession};
+use crate::WearLockError;
+
+/// Delay breakdown of one (successful) unlock attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayBreakdown {
+    /// The configuration measured.
+    pub config: NamedConfig,
+    /// Phase-1 probing processing time.
+    pub phase1_processing: Seconds,
+    /// Phase-2 pre-processing (signal detection/sync on the token
+    /// recording).
+    pub phase2_preprocessing: Seconds,
+    /// Phase-2 OFDM demodulation.
+    pub phase2_demodulation: Seconds,
+    /// All wireless communication (handshake, sensor/audio transfer,
+    /// CTS, verdict).
+    pub communication: Seconds,
+    /// Audio play-out/recording time.
+    pub audio: Seconds,
+    /// End-to-end total.
+    pub total: Seconds,
+}
+
+fn span_sum(delays: &[(String, Seconds)], prefix: &str) -> Seconds {
+    Seconds(
+        delays
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v.value())
+            .sum(),
+    )
+}
+
+/// Measures the delay breakdown of `config_kind` in `env`, averaging
+/// over `trials` *successful acoustic* attempts (motion skips and
+/// failures are excluded — the paper times complete unlocks).
+///
+/// # Errors
+///
+/// Returns [`WearLockError::SessionFailed`] when no attempt succeeds
+/// (e.g. a hostile environment).
+pub fn measure_breakdown<R: Rng + ?Sized>(
+    config_kind: NamedConfig,
+    env: &Environment,
+    trials: usize,
+    rng: &mut R,
+) -> Result<DelayBreakdown, WearLockError> {
+    let config = WearLockConfig::builder().named(config_kind).build()?;
+    let mut session = UnlockSession::new(config)?;
+    let mut collected = Vec::new();
+    let mut guard = 0;
+    while collected.len() < trials && guard < trials * 10 {
+        guard += 1;
+        let report = session.attempt(env, rng);
+        if let Outcome::Unlocked(crate::session::UnlockPath::Acoustic(_)) = report.outcome {
+            collected.push(report);
+        }
+        // Keep the policy state clean between timing runs.
+        session.enter_pin();
+    }
+    if collected.is_empty() {
+        return Err(WearLockError::SessionFailed(format!(
+            "no successful acoustic unlock in {guard} tries for {config_kind}"
+        )));
+    }
+    let n = collected.len() as f64;
+    let avg = |f: &dyn Fn(&crate::session::AttemptReport) -> f64| -> Seconds {
+        Seconds(collected.iter().map(|r| f(r)).sum::<f64>() / n)
+    };
+    Ok(DelayBreakdown {
+        config: config_kind,
+        phase1_processing: avg(&|r| span_sum(&r.delays, "compute:phase1").value()),
+        phase2_preprocessing: avg(&|r| span_sum(&r.delays, "compute:phase2-preprocess").value()),
+        phase2_demodulation: avg(&|r| span_sum(&r.delays, "compute:phase2-demod").value()),
+        communication: avg(&|r| span_sum(&r.delays, "wireless:").value()),
+        audio: avg(&|r| span_sum(&r.delays, "audio:").value()),
+        total: avg(&|r| r.total_delay.value()),
+    })
+}
+
+/// WearLock total delay vs manual PIN entry (Fig. 12).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupReport {
+    /// Per-configuration breakdowns.
+    pub configs: Vec<DelayBreakdown>,
+    /// Median 4-digit PIN entry time.
+    pub pin4: Seconds,
+    /// Median 6-digit PIN entry time.
+    pub pin6: Seconds,
+}
+
+impl SpeedupReport {
+    /// Speedup of configuration `i` against the 4-digit PIN:
+    /// `1 − t_wearlock / t_pin`.
+    pub fn speedup_vs_pin4(&self, i: usize) -> f64 {
+        1.0 - self.configs[i].total.value() / self.pin4.value()
+    }
+}
+
+/// Runs the full Fig. 12 comparison.
+///
+/// # Errors
+///
+/// Propagates [`measure_breakdown`] failures.
+pub fn compare_with_pin<R: Rng + ?Sized>(
+    env: &Environment,
+    trials: usize,
+    rng: &mut R,
+) -> Result<SpeedupReport, WearLockError> {
+    let mut configs = Vec::new();
+    for kind in NamedConfig::ALL {
+        configs.push(measure_breakdown(kind, env, trials, rng)?);
+    }
+    Ok(SpeedupReport {
+        configs,
+        pin4: PinEntryModel::four_digit().median(),
+        pin6: PinEntryModel::six_digit().median(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn config1_beats_config2_beats_config3() {
+        let mut rng = StdRng::seed_from_u64(70);
+        let env = Environment::default();
+        let report = compare_with_pin(&env, 3, &mut rng).unwrap();
+        let t: Vec<f64> = report.configs.iter().map(|c| c.total.value()).collect();
+        assert!(t[0] < t[1], "config1 {} vs config2 {}", t[0], t[1]);
+        assert!(t[1] < t[2], "config2 {} vs config3 {}", t[1], t[2]);
+    }
+
+    #[test]
+    fn wearlock_beats_pin_entry() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let env = Environment::default();
+        let report = compare_with_pin(&env, 3, &mut rng).unwrap();
+        // Paper: ≥58.6% speedup for Config1, ≥17.7% even for the worst.
+        assert!(
+            report.speedup_vs_pin4(0) > 0.55,
+            "config1 speedup {}",
+            report.speedup_vs_pin4(0)
+        );
+        for i in 0..3 {
+            assert!(
+                report.speedup_vs_pin4(i) > 0.17,
+                "config{} speedup {}",
+                i + 1,
+                report.speedup_vs_pin4(i)
+            );
+        }
+    }
+
+    #[test]
+    fn breakdown_parts_sum_close_to_total() {
+        let mut rng = StdRng::seed_from_u64(72);
+        let b = measure_breakdown(NamedConfig::Config1, &Environment::default(), 3, &mut rng)
+            .unwrap();
+        let parts = b.phase1_processing.value()
+            + b.phase2_preprocessing.value()
+            + b.phase2_demodulation.value()
+            + b.communication.value()
+            + b.audio.value();
+        // Motion-filter compute is the only unlisted span.
+        assert!(
+            (parts - b.total.value()).abs() < 0.2 * b.total.value() + 0.05,
+            "parts {parts} total {}",
+            b.total.value()
+        );
+    }
+
+    #[test]
+    fn watch_local_demod_dominates_config3() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let b3 = measure_breakdown(NamedConfig::Config3, &Environment::default(), 3, &mut rng)
+            .unwrap();
+        let b1 = measure_breakdown(NamedConfig::Config1, &Environment::default(), 3, &mut rng)
+            .unwrap();
+        assert!(
+            b3.phase1_processing.value() > 5.0 * b1.phase1_processing.value(),
+            "watch probing {} vs phone {}",
+            b3.phase1_processing.value(),
+            b1.phase1_processing.value()
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Top-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the WearLock system crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WearLockError {
+    /// Configuration was invalid.
+    InvalidConfig(String),
+    /// The underlying modem failed.
+    Modem(wearlock_modem::ModemError),
+    /// The acoustic simulator failed.
+    Acoustics(wearlock_acoustics::AcousticsError),
+    /// The sensors subsystem failed.
+    Sensors(wearlock_sensors::SensorsError),
+    /// A live-session thread failed or disconnected.
+    SessionFailed(String),
+}
+
+impl fmt::Display for WearLockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WearLockError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            WearLockError::Modem(e) => write!(f, "modem: {e}"),
+            WearLockError::Acoustics(e) => write!(f, "acoustics: {e}"),
+            WearLockError::Sensors(e) => write!(f, "sensors: {e}"),
+            WearLockError::SessionFailed(msg) => write!(f, "session failed: {msg}"),
+        }
+    }
+}
+
+impl Error for WearLockError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WearLockError::Modem(e) => Some(e),
+            WearLockError::Acoustics(e) => Some(e),
+            WearLockError::Sensors(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wearlock_modem::ModemError> for WearLockError {
+    fn from(e: wearlock_modem::ModemError) -> Self {
+        WearLockError::Modem(e)
+    }
+}
+
+impl From<wearlock_acoustics::AcousticsError> for WearLockError {
+    fn from(e: wearlock_acoustics::AcousticsError) -> Self {
+        WearLockError::Acoustics(e)
+    }
+}
+
+impl From<wearlock_sensors::SensorsError> for WearLockError {
+    fn from(e: wearlock_sensors::SensorsError) -> Self {
+        WearLockError::Sensors(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e = WearLockError::from(wearlock_modem::ModemError::SignalNotFound {
+            best_score: 0.0,
+        });
+        assert!(e.source().is_some());
+        assert!(e.to_string().starts_with("modem:"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WearLockError>();
+    }
+}

@@ -1,0 +1,453 @@
+//! Cross-correlation: preamble detection, coarse synchronization, and
+//! delay-profile estimation.
+//!
+//! The paper detects its chirp preamble with a sliding normalized
+//! cross-correlator (§III.4), uses the correlation peak for coarse
+//! time-domain synchronization (§III.5), and approximates a multipath
+//! delay profile from the correlation magnitude around the peak to
+//! compute the RMS delay spread for NLOS filtering (§III "NLOS
+//! filtering").
+
+use crate::error::DspError;
+use crate::units::SampleRate;
+
+/// Raw (unnormalized) linear cross-correlation of `signal` with
+/// `template` at every alignment where the template fits entirely.
+///
+/// Output length is `signal.len() - template.len() + 1`.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] if either input is empty and
+/// [`DspError::LengthMismatch`] if the template is longer than the
+/// signal.
+pub fn cross_correlate(signal: &[f64], template: &[f64]) -> Result<Vec<f64>, DspError> {
+    if signal.is_empty() || template.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if template.len() > signal.len() {
+        return Err(DspError::LengthMismatch {
+            expected: template.len(),
+            actual: signal.len(),
+        });
+    }
+    let m = template.len();
+    Ok((0..=signal.len() - m)
+        .map(|i| {
+            signal[i..i + m]
+                .iter()
+                .zip(template)
+                .map(|(a, b)| a * b)
+                .sum()
+        })
+        .collect())
+}
+
+/// Normalized cross-correlation: each lag's score is divided by
+/// `‖window‖·‖template‖`, yielding values in `[-1, 1]`.
+///
+/// WearLock compares the maximum normalized score against a threshold
+/// (0.05 in the paper's NLOS experiment) to decide whether a preamble is
+/// present at all.
+///
+/// # Errors
+///
+/// Same as [`cross_correlate`].
+pub fn normalized_cross_correlate(
+    signal: &[f64],
+    template: &[f64],
+) -> Result<Vec<f64>, DspError> {
+    if signal.is_empty() || template.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if template.len() > signal.len() {
+        return Err(DspError::LengthMismatch {
+            expected: template.len(),
+            actual: signal.len(),
+        });
+    }
+    let m = template.len();
+    let t_norm = template.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if t_norm == 0.0 {
+        return Err(DspError::InvalidParameter(
+            "template has zero energy".into(),
+        ));
+    }
+
+    // Pure per-window normalization is scale-invariant, which would let
+    // a window 80 dB below the recording's loudest content score like a
+    // perfect match (e.g. a filter's decay tail that happens to
+    // resemble the template). Gate the denominator at 60 dB below the
+    // loudest window — an AGC-like absolute-energy floor.
+    let total_energy: f64 = signal.iter().map(|x| x * x).sum();
+    let mut max_win = 0.0f64;
+    {
+        let mut e: f64 = signal[..m].iter().map(|x| x * x).sum();
+        max_win = max_win.max(e);
+        for i in 0..signal.len() - m {
+            e = (e + signal[i + m] * signal[i + m] - signal[i] * signal[i]).max(0.0);
+            max_win = max_win.max(e);
+        }
+    }
+    let energy_floor = (max_win * 1e-6).max(total_energy * 1e-15);
+
+    // Rolling window energy for O(n) normalization; the incremental
+    // update accumulates floating-point error, so recompute exactly
+    // every 1024 lags and clamp at zero.
+    let mut win_energy: f64 = signal[..m].iter().map(|x| x * x).sum();
+    let mut out = Vec::with_capacity(signal.len() - m + 1);
+    for i in 0..=signal.len() - m {
+        if i % 1024 == 0 && i > 0 {
+            win_energy = signal[i..i + m].iter().map(|x| x * x).sum();
+        }
+        let dot: f64 = signal[i..i + m]
+            .iter()
+            .zip(template)
+            .map(|(a, b)| a * b)
+            .sum();
+        let denom = win_energy.max(energy_floor).sqrt() * t_norm;
+        out.push(if denom > 0.0 { dot / denom } else { 0.0 });
+        if i + m < signal.len() {
+            win_energy = (win_energy + signal[i + m] * signal[i + m]
+                - signal[i] * signal[i])
+                .max(0.0);
+        }
+    }
+    Ok(out)
+}
+
+/// FFT-accelerated raw cross-correlation (overlap–save): identical
+/// output to [`cross_correlate`] but `O(n log n)` instead of `O(n·m)`,
+/// which matters for the second-long recordings the watch processes.
+///
+/// # Errors
+///
+/// Same as [`cross_correlate`].
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_dsp::correlate::{cross_correlate, cross_correlate_fft};
+/// let sig: Vec<f64> = (0..500).map(|i| (i as f64 * 0.3).sin()).collect();
+/// let tpl: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin()).collect();
+/// let direct = cross_correlate(&sig, &tpl)?;
+/// let fast = cross_correlate_fft(&sig, &tpl)?;
+/// for (a, b) in direct.iter().zip(&fast) {
+///     assert!((a - b).abs() < 1e-9);
+/// }
+/// # Ok::<(), wearlock_dsp::DspError>(())
+/// ```
+pub fn cross_correlate_fft(signal: &[f64], template: &[f64]) -> Result<Vec<f64>, DspError> {
+    if signal.is_empty() || template.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if template.len() > signal.len() {
+        return Err(DspError::LengthMismatch {
+            expected: template.len(),
+            actual: signal.len(),
+        });
+    }
+    let m = template.len();
+    let out_len = signal.len() - m + 1;
+
+    // Block size: at least 4x the template, power of two.
+    let fft_len = (4 * m).next_power_of_two().max(64);
+    let fft = crate::fft::Fft::new(fft_len)?;
+    let step = fft_len - m + 1;
+
+    // Conjugate spectrum of the (zero-padded) template realizes
+    // correlation rather than convolution.
+    let mut tpl_buf = vec![crate::complex::Complex::ZERO; fft_len];
+    for (i, &t) in template.iter().enumerate() {
+        tpl_buf[i] = crate::complex::Complex::from_re(t);
+    }
+    let tpl_spec: Vec<crate::complex::Complex> =
+        fft.forward(&tpl_buf)?.iter().map(|z| z.conj()).collect();
+
+    let mut out = vec![0.0; out_len];
+    let mut start = 0;
+    while start < out_len {
+        let mut block = vec![crate::complex::Complex::ZERO; fft_len];
+        for i in 0..fft_len {
+            if start + i < signal.len() {
+                block[i] = crate::complex::Complex::from_re(signal[start + i]);
+            }
+        }
+        let spec = fft.forward(&block)?;
+        let prod: Vec<crate::complex::Complex> = spec
+            .iter()
+            .zip(&tpl_spec)
+            .map(|(a, b)| *a * *b)
+            .collect();
+        let corr = fft.inverse(&prod)?;
+        let valid = step.min(out_len - start);
+        for i in 0..valid {
+            out[start + i] = corr[i].re;
+        }
+        start += step;
+    }
+    Ok(out)
+}
+
+/// The best match found by a correlator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelationPeak {
+    /// Sample offset of the best alignment.
+    pub offset: usize,
+    /// Normalized correlation score at the peak, in `[-1, 1]`.
+    pub score: f64,
+}
+
+/// Finds the peak of the normalized cross-correlation of `signal` with
+/// `template`.
+///
+/// # Errors
+///
+/// Same as [`normalized_cross_correlate`].
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_dsp::correlate::find_peak;
+///
+/// let template = vec![1.0, -1.0, 1.0, -1.0];
+/// let mut signal = vec![0.0; 64];
+/// signal[20..24].copy_from_slice(&template);
+/// let peak = find_peak(&signal, &template)?;
+/// assert_eq!(peak.offset, 20);
+/// assert!(peak.score > 0.99);
+/// # Ok::<(), wearlock_dsp::DspError>(())
+/// ```
+pub fn find_peak(signal: &[f64], template: &[f64]) -> Result<CorrelationPeak, DspError> {
+    let scores = normalized_cross_correlate(signal, template)?;
+    let (offset, score) = scores
+        .iter()
+        .enumerate()
+        .fold((0usize, f64::MIN), |(bi, bv), (i, &v)| {
+            if v > bv {
+                (i, v)
+            } else {
+                (bi, bv)
+            }
+        });
+    Ok(CorrelationPeak { offset, score })
+}
+
+/// An approximate multipath delay profile extracted from the correlation
+/// magnitude in a window after the main peak.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayProfile {
+    /// `A(t_n)`: correlation magnitudes (power) at each delay tap.
+    pub taps: Vec<f64>,
+    /// Sample rate, for converting tap indices to seconds.
+    pub sample_rate: SampleRate,
+}
+
+impl DelayProfile {
+    /// Builds a delay profile from normalized correlation scores, taking
+    /// `window` taps starting at the main peak. Tap magnitudes are the
+    /// squared scores (a power profile).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `window == 0` or the
+    /// peak lies outside `scores`.
+    pub fn from_correlation(
+        scores: &[f64],
+        peak_offset: usize,
+        window: usize,
+        sample_rate: SampleRate,
+    ) -> Result<Self, DspError> {
+        if window == 0 {
+            return Err(DspError::InvalidParameter(
+                "delay profile window must be >= 1".into(),
+            ));
+        }
+        if peak_offset >= scores.len() {
+            return Err(DspError::InvalidParameter(format!(
+                "peak offset {peak_offset} outside correlation of length {}",
+                scores.len()
+            )));
+        }
+        let end = (peak_offset + window).min(scores.len());
+        let taps = scores[peak_offset..end].iter().map(|s| s * s).collect();
+        Ok(DelayProfile { taps, sample_rate })
+    }
+
+    /// Mean excess delay `τ̂ = Σ t_n·A(t_n) / Σ A(t_n)` in seconds.
+    ///
+    /// Returns `0.0` when the profile has no energy.
+    pub fn mean_delay(&self) -> f64 {
+        let total: f64 = self.taps.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let fs = self.sample_rate.value();
+        self.taps
+            .iter()
+            .enumerate()
+            .map(|(n, a)| (n as f64 / fs) * a)
+            .sum::<f64>()
+            / total
+    }
+
+    /// RMS delay spread
+    /// `τ_rms = sqrt(Σ (t_n − τ̂)²·A(t_n) / Σ A(t_n))` in seconds —
+    /// the paper's NLOS indicator.
+    pub fn rms_delay_spread(&self) -> f64 {
+        let total: f64 = self.taps.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let fs = self.sample_rate.value();
+        let mean = self.mean_delay();
+        (self
+            .taps
+            .iter()
+            .enumerate()
+            .map(|(n, a)| {
+                let t = n as f64 / fs;
+                (t - mean) * (t - mean) * a
+            })
+            .sum::<f64>()
+            / total)
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chirp::Chirp;
+    use crate::units::Hz;
+
+    #[test]
+    fn fft_correlation_matches_direct() {
+        let sig: Vec<f64> = (0..1_000)
+            .map(|i| (i as f64 * 0.17).sin() + 0.3 * (i as f64 * 0.71).cos())
+            .collect();
+        let tpl: Vec<f64> = (0..100).map(|i| (i as f64 * 0.29).sin()).collect();
+        let direct = cross_correlate(&sig, &tpl).unwrap();
+        let fast = cross_correlate_fft(&sig, &tpl).unwrap();
+        assert_eq!(direct.len(), fast.len());
+        for (a, b) in direct.iter().zip(&fast) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fft_correlation_handles_edge_lengths() {
+        // Template as long as the signal: single output lag.
+        let sig: Vec<f64> = (0..64).map(|i| (i as f64 * 0.4).sin()).collect();
+        let fast = cross_correlate_fft(&sig, &sig).unwrap();
+        assert_eq!(fast.len(), 1);
+        let e: f64 = sig.iter().map(|x| x * x).sum();
+        assert!((fast[0] - e).abs() < 1e-8);
+        // Tiny template.
+        let tpl = vec![1.0];
+        let fast = cross_correlate_fft(&sig, &tpl).unwrap();
+        for (a, b) in fast.iter().zip(&sig) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_correlation_rejects_degenerate_inputs() {
+        assert!(cross_correlate_fft(&[], &[1.0]).is_err());
+        assert!(cross_correlate_fft(&[1.0], &[]).is_err());
+        assert!(cross_correlate_fft(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn raw_correlation_length() {
+        let s = vec![0.0; 100];
+        let t = vec![1.0; 10];
+        assert_eq!(cross_correlate(&s, &t).unwrap().len(), 91);
+    }
+
+    #[test]
+    fn errors_on_degenerate_inputs() {
+        assert!(cross_correlate(&[], &[1.0]).is_err());
+        assert!(cross_correlate(&[1.0], &[]).is_err());
+        assert!(cross_correlate(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(normalized_cross_correlate(&[0.0; 8], &[0.0; 4]).is_err()); // zero-energy template
+    }
+
+    #[test]
+    fn normalized_scores_bounded() {
+        let t: Vec<f64> = (0..32).map(|i| (i as f64 * 0.9).sin()).collect();
+        let mut s = vec![0.0; 256];
+        s[100..132].copy_from_slice(&t);
+        for (i, v) in s.iter_mut().enumerate() {
+            *v += 0.05 * (i as f64 * 0.13).cos();
+        }
+        let scores = normalized_cross_correlate(&s, &t).unwrap();
+        assert!(scores.iter().all(|v| v.abs() <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn chirp_detected_in_noise_at_exact_offset() {
+        let chirp = Chirp::new(Hz(1_000.0), Hz(6_000.0), 256, SampleRate::CD).unwrap();
+        let t = chirp.generate();
+        let mut s = vec![0.0; 2000];
+        // Deterministic pseudo-noise.
+        let mut state = 0x12345678u64;
+        for v in s.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            *v = ((state >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 0.1;
+        }
+        for (i, &c) in t.iter().enumerate() {
+            s[700 + i] += c;
+        }
+        let peak = find_peak(&s, &t).unwrap();
+        assert!(
+            (699..=701).contains(&peak.offset),
+            "offset {} score {}",
+            peak.offset,
+            peak.score
+        );
+        assert!(peak.score > 0.8);
+    }
+
+    #[test]
+    fn inverted_template_gives_negative_score() {
+        let t = vec![1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
+        let s: Vec<f64> = t.iter().map(|x| -x).collect();
+        let scores = normalized_cross_correlate(&s, &t).unwrap();
+        assert!((scores[0] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_profile_single_tap_has_zero_spread() {
+        let scores = vec![0.0, 0.0, 1.0, 0.0, 0.0];
+        let p = DelayProfile::from_correlation(&scores, 2, 3, SampleRate::CD).unwrap();
+        assert!(p.rms_delay_spread() < 1e-12);
+        assert!(p.mean_delay() < 1e-12);
+    }
+
+    #[test]
+    fn delay_profile_spread_grows_with_multipath() {
+        let fs = SampleRate::CD;
+        // LOS: one dominant tap. NLOS: energy smeared over many taps.
+        let los = DelayProfile::from_correlation(&[1.0, 0.05, 0.02, 0.01], 0, 4, fs).unwrap();
+        let nlos =
+            DelayProfile::from_correlation(&[0.4, 0.35, 0.3, 0.28, 0.25, 0.2], 0, 6, fs).unwrap();
+        assert!(nlos.rms_delay_spread() > 3.0 * los.rms_delay_spread());
+    }
+
+    #[test]
+    fn delay_profile_rejects_bad_window() {
+        assert!(DelayProfile::from_correlation(&[1.0], 0, 0, SampleRate::CD).is_err());
+        assert!(DelayProfile::from_correlation(&[1.0], 5, 2, SampleRate::CD).is_err());
+    }
+
+    #[test]
+    fn empty_profile_is_zero() {
+        let p = DelayProfile {
+            taps: vec![0.0; 4],
+            sample_rate: SampleRate::CD,
+        };
+        assert_eq!(p.mean_delay(), 0.0);
+        assert_eq!(p.rms_delay_spread(), 0.0);
+    }
+}

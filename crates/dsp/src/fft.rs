@@ -1,0 +1,368 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! The WearLock modem performs all OFDM modulation/demodulation through
+//! FFTs of size 256 (paper §VI "the default FFT size is 256"), so a
+//! power-of-two radix-2 implementation with precomputed twiddle factors
+//! covers every use in this repository.
+//!
+//! Conventions: [`Fft::forward`] computes `X[k] = Σ x[n]·e^{-j2πkn/N}`
+//! (no scaling) and [`Fft::inverse`] computes
+//! `x[n] = (1/N)·Σ X[k]·e^{+j2πkn/N}`, matching equation (1) of the
+//! paper, so `inverse(forward(x)) == x`.
+
+use crate::complex::Complex;
+use crate::error::DspError;
+
+/// A planned FFT of a fixed power-of-two size.
+///
+/// Planning precomputes the bit-reversal permutation and twiddle factors
+/// so repeated transforms (one per OFDM block) avoid trigonometric work.
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_dsp::{Complex, Fft};
+///
+/// let fft = Fft::new(8)?;
+/// let x: Vec<Complex> = (0..8).map(|n| Complex::from_re(n as f64)).collect();
+/// let spectrum = fft.forward(&x)?;
+/// let back = fft.inverse(&spectrum)?;
+/// for (a, b) in x.iter().zip(&back) {
+///     assert!((*a - *b).abs() < 1e-9);
+/// }
+/// # Ok::<(), wearlock_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft {
+    size: usize,
+    rev: Vec<usize>,
+    /// Twiddles for the forward transform: `e^{-j2πk/N}` for k in 0..N/2.
+    twiddles: Vec<Complex>,
+}
+
+impl Fft {
+    /// Plans an FFT of `size` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidFftSize`] unless `size` is a power of
+    /// two and at least 2.
+    pub fn new(size: usize) -> Result<Self, DspError> {
+        if size < 2 || !size.is_power_of_two() {
+            return Err(DspError::InvalidFftSize(size));
+        }
+        let bits = size.trailing_zeros();
+        let rev = (0..size)
+            .map(|i| i.reverse_bits() >> (usize::BITS - bits))
+            .collect();
+        let twiddles = (0..size / 2)
+            .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / size as f64))
+            .collect();
+        Ok(Fft {
+            size,
+            rev,
+            twiddles,
+        })
+    }
+
+    /// The transform size.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn transform(&self, input: &[Complex], invert: bool) -> Result<Vec<Complex>, DspError> {
+        if input.len() != self.size {
+            return Err(DspError::LengthMismatch {
+                expected: self.size,
+                actual: input.len(),
+            });
+        }
+        let n = self.size;
+        let mut buf: Vec<Complex> = (0..n).map(|i| input[self.rev[i]]).collect();
+
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * step];
+                    if invert {
+                        w = w.conj();
+                    }
+                    let a = buf[start + k];
+                    let b = buf[start + k + half] * w;
+                    buf[start + k] = a + b;
+                    buf[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+
+        if invert {
+            let scale = 1.0 / n as f64;
+            for v in &mut buf {
+                *v = v.scale(scale);
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Forward DFT (no normalization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `input.len() != size`.
+    pub fn forward(&self, input: &[Complex]) -> Result<Vec<Complex>, DspError> {
+        self.transform(input, false)
+    }
+
+    /// Inverse DFT with `1/N` normalization (paper eq. 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `input.len() != size`.
+    pub fn inverse(&self, input: &[Complex]) -> Result<Vec<Complex>, DspError> {
+        self.transform(input, true)
+    }
+
+    /// Forward DFT of a real signal (zero imaginary parts are implied).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `input.len() != size`.
+    pub fn forward_real(&self, input: &[f64]) -> Result<Vec<Complex>, DspError> {
+        if input.len() != self.size {
+            return Err(DspError::LengthMismatch {
+                expected: self.size,
+                actual: input.len(),
+            });
+        }
+        let buf: Vec<Complex> = input.iter().map(|&x| Complex::from_re(x)).collect();
+        self.forward(&buf)
+    }
+}
+
+/// Interpolates a frequency-domain sequence by zero-padding its spectrum
+/// (classic FFT interpolation).
+///
+/// WearLock uses this to expand the channel response sampled at the
+/// equally spaced *pilot* sub-channels onto the full sub-channel grid
+/// (paper §III.6). The input is a sequence of `M` complex samples, the
+/// output has `M * factor` samples passing through the originals'
+/// band-limited interpolant.
+///
+/// # Errors
+///
+/// Returns an error if `samples` is empty, `factor` is zero, or either
+/// length is not a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_dsp::{fft_interpolate, Complex};
+///
+/// // A constant sequence interpolates to the same constant.
+/// let flat = vec![Complex::from_re(2.0); 8];
+/// let out = fft_interpolate(&flat, 4)?;
+/// assert_eq!(out.len(), 32);
+/// assert!(out.iter().all(|z| (z.re - 2.0).abs() < 1e-9 && z.im.abs() < 1e-9));
+/// # Ok::<(), wearlock_dsp::DspError>(())
+/// ```
+pub fn fft_interpolate(samples: &[Complex], factor: usize) -> Result<Vec<Complex>, DspError> {
+    if factor == 0 {
+        return Err(DspError::InvalidParameter(
+            "interpolation factor must be >= 1".into(),
+        ));
+    }
+    if factor == 1 {
+        return Ok(samples.to_vec());
+    }
+    let m = samples.len();
+    let out_len = m * factor;
+    let fft_in = Fft::new(m)?;
+    let fft_out = Fft::new(out_len)?;
+    let spectrum = fft_in.forward(samples)?;
+
+    // Zero-pad the spectrum symmetrically: keep the low half at the
+    // start, the high half at the end, split the Nyquist bin.
+    let mut padded = vec![Complex::ZERO; out_len];
+    let half = m / 2;
+    padded[..half].copy_from_slice(&spectrum[..half]);
+    for k in (half + 1)..m {
+        padded[out_len - m + k] = spectrum[k];
+    }
+    // The Nyquist bin of the short transform is shared between positive
+    // and negative frequencies in the long one.
+    let nyq = spectrum[half].scale(0.5);
+    padded[half] = nyq;
+    padded[out_len - half] = nyq;
+
+    let mut out = fft_out.inverse(&padded)?;
+    let scale = factor as f64;
+    for v in &mut out {
+        *v = v.scale(scale);
+    }
+    Ok(out)
+}
+
+/// Direct (O(N²)) DFT, used as a test oracle for the FFT.
+pub fn dft_naive(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|t| {
+                    input[t] * Complex::cis(-2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64)
+                })
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!(
+                (*x - *y).abs() < tol,
+                "mismatch: {x} vs {y} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(matches!(Fft::new(0), Err(DspError::InvalidFftSize(0))));
+        assert!(matches!(Fft::new(1), Err(DspError::InvalidFftSize(1))));
+        assert!(matches!(Fft::new(12), Err(DspError::InvalidFftSize(12))));
+        assert!(Fft::new(256).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_length_input() {
+        let fft = Fft::new(8).unwrap();
+        let short = vec![Complex::ZERO; 4];
+        assert!(matches!(
+            fft.forward(&short),
+            Err(DspError::LengthMismatch {
+                expected: 8,
+                actual: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let n = 64;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| {
+                Complex::new(
+                    (i as f64 * 0.37).sin() + 0.2 * (i as f64 * 1.1).cos(),
+                    (i as f64 * 0.91).cos(),
+                )
+            })
+            .collect();
+        let fft = Fft::new(n).unwrap();
+        assert_close(&fft.forward(&x).unwrap(), &dft_naive(&x), 1e-9);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let fft = Fft::new(16).unwrap();
+        let mut x = vec![Complex::ZERO; 16];
+        x[0] = Complex::ONE;
+        let spec = fft.forward(&x).unwrap();
+        for z in spec {
+            assert!((z - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 256;
+        let k0 = 19;
+        let x: Vec<Complex> = (0..n)
+            .map(|t| Complex::cis(2.0 * std::f64::consts::PI * (k0 * t) as f64 / n as f64))
+            .collect();
+        let fft = Fft::new(n).unwrap();
+        let spec = fft.forward(&x).unwrap();
+        for (k, z) in spec.iter().enumerate() {
+            if k == k0 {
+                assert!((z.abs() - n as f64).abs() < 1e-6);
+            } else {
+                assert!(z.abs() < 1e-6, "leakage at bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        let n = 128;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+            .collect();
+        let fft = Fft::new(n).unwrap();
+        let back = fft.inverse(&fft.forward(&x).unwrap()).unwrap();
+        assert_close(&x, &back, 1e-9);
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 64;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 2.1).sin(), 0.3 * (i as f64).cos()))
+            .collect();
+        let fft = Fft::new(n).unwrap();
+        let spec = fft.forward(&x).unwrap();
+        let et: f64 = x.iter().map(|z| z.norm_sq()).sum();
+        let ef: f64 = spec.iter().map(|z| z.norm_sq()).sum::<f64>() / n as f64;
+        assert!((et - ef).abs() < 1e-9 * et.max(1.0));
+    }
+
+    #[test]
+    fn interpolation_passes_through_original_points() {
+        // A smooth band-limited sequence: low-frequency phasor.
+        let m = 8;
+        let orig: Vec<Complex> = (0..m)
+            .map(|i| Complex::cis(2.0 * std::f64::consts::PI * i as f64 / m as f64))
+            .collect();
+        let out = fft_interpolate(&orig, 4).unwrap();
+        for (i, z) in orig.iter().enumerate() {
+            assert!(
+                (out[i * 4] - *z).abs() < 1e-9,
+                "sample {i}: {} vs {z}",
+                out[i * 4]
+            );
+        }
+    }
+
+    #[test]
+    fn interpolation_factor_one_is_identity() {
+        let orig = vec![Complex::new(1.0, -2.0); 4];
+        assert_eq!(fft_interpolate(&orig, 1).unwrap(), orig);
+    }
+
+    #[test]
+    fn interpolation_rejects_zero_factor() {
+        let orig = vec![Complex::ONE; 4];
+        assert!(fft_interpolate(&orig, 0).is_err());
+    }
+
+    #[test]
+    fn forward_real_matches_complex_path() {
+        let n = 32;
+        let xr: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let xc: Vec<Complex> = xr.iter().map(|&v| Complex::from_re(v)).collect();
+        let fft = Fft::new(n).unwrap();
+        assert_close(
+            &fft.forward_real(&xr).unwrap(),
+            &fft.forward(&xc).unwrap(),
+            1e-12,
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Goertzel algorithm: efficient single-bin DFT.
+//!
+//! Used for cheap tone-power probes — e.g. verifying which sub-channels
+//! a jammer occupies without running a full FFT.
+
+use crate::error::DspError;
+use crate::units::{Hz, SampleRate};
+
+/// Computes the power of `signal` at frequency `freq` using the Goertzel
+/// recurrence, normalized by the window length so the value is
+/// comparable across block sizes.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] on an empty signal and
+/// [`DspError::InvalidParameter`] if `freq` exceeds Nyquist or is
+/// negative.
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_dsp::goertzel::goertzel_power;
+/// use wearlock_dsp::units::{Hz, SampleRate};
+///
+/// let sr = SampleRate::CD;
+/// let tone: Vec<f64> = (0..4410)
+///     .map(|i| (2.0 * std::f64::consts::PI * 1_000.0 * i as f64 / 44_100.0).sin())
+///     .collect();
+/// let on = goertzel_power(&tone, Hz(1_000.0), sr)?;
+/// let off = goertzel_power(&tone, Hz(3_000.0), sr)?;
+/// assert!(on > 100.0 * off);
+/// # Ok::<(), wearlock_dsp::DspError>(())
+/// ```
+pub fn goertzel_power(signal: &[f64], freq: Hz, sample_rate: SampleRate) -> Result<f64, DspError> {
+    if signal.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let f = freq.value();
+    if f < 0.0 || f > sample_rate.nyquist().value() {
+        return Err(DspError::InvalidParameter(format!(
+            "goertzel frequency {freq} outside [0, nyquist]"
+        )));
+    }
+    let n = signal.len() as f64;
+    let w = 2.0 * std::f64::consts::PI * f / sample_rate.value();
+    let coeff = 2.0 * w.cos();
+    let (mut s1, mut s2) = (0.0f64, 0.0f64);
+    for &x in signal {
+        let s0 = x + coeff * s1 - s2;
+        s2 = s1;
+        s1 = s0;
+    }
+    let power = s1 * s1 + s2 * s2 - coeff * s1 * s2;
+    Ok(power / (n * n) * 4.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(f: f64, amp: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (2.0 * std::f64::consts::PI * f * i as f64 / 44_100.0).sin())
+            .collect()
+    }
+
+    #[test]
+    fn detects_tone_amplitude() {
+        // For a sine of amplitude A, normalized Goertzel power ≈ A².
+        let p = goertzel_power(&tone(2_000.0, 0.5, 44_100), Hz(2_000.0), SampleRate::CD).unwrap();
+        assert!((p - 0.25).abs() < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn rejects_out_of_band_frequency() {
+        let s = tone(1_000.0, 1.0, 100);
+        assert!(goertzel_power(&s, Hz(30_000.0), SampleRate::CD).is_err());
+        assert!(goertzel_power(&s, Hz(-1.0), SampleRate::CD).is_err());
+        assert!(goertzel_power(&[], Hz(1_000.0), SampleRate::CD).is_err());
+    }
+
+    #[test]
+    fn off_bin_power_is_small() {
+        let s = tone(5_000.0, 1.0, 44_100);
+        let off = goertzel_power(&s, Hz(9_000.0), SampleRate::CD).unwrap();
+        assert!(off < 1e-4, "off = {off}");
+    }
+
+    #[test]
+    fn power_of_sum_adds() {
+        let mut s = tone(1_000.0, 0.4, 44_100);
+        for (a, b) in s.iter_mut().zip(tone(4_000.0, 0.3, 44_100)) {
+            *a += b;
+        }
+        let p1 = goertzel_power(&s, Hz(1_000.0), SampleRate::CD).unwrap();
+        let p2 = goertzel_power(&s, Hz(4_000.0), SampleRate::CD).unwrap();
+        assert!((p1 - 0.16).abs() < 0.01);
+        assert!((p2 - 0.09).abs() < 0.01);
+    }
+}

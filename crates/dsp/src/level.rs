@@ -1,0 +1,199 @@
+//! Signal level measurement: RMS power, sound pressure level, and the
+//! energy-based silence detector used before preamble detection
+//! (paper §III "Silence Detection and Signal Detection").
+
+use crate::error::DspError;
+use crate::units::{Db, Spl};
+
+/// Root-mean-square amplitude of a signal.
+///
+/// Returns `0.0` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_dsp::level::rms;
+/// let dc = vec![0.5; 100];
+/// assert!((rms(&dc) - 0.5).abs() < 1e-12);
+/// ```
+pub fn rms(signal: &[f64]) -> f64 {
+    if signal.is_empty() {
+        return 0.0;
+    }
+    (signal.iter().map(|x| x * x).sum::<f64>() / signal.len() as f64).sqrt()
+}
+
+/// Mean power (mean of squared samples) of a signal.
+pub fn power(signal: &[f64]) -> f64 {
+    if signal.is_empty() {
+        return 0.0;
+    }
+    signal.iter().map(|x| x * x).sum::<f64>() / signal.len() as f64
+}
+
+/// Total energy (sum of squared samples) of a signal.
+pub fn energy(signal: &[f64]) -> f64 {
+    signal.iter().map(|x| x * x).sum()
+}
+
+/// Sound pressure level of a signal: `SPL = 20·log10(p / p_ref)` where
+/// `p` is the RMS amplitude (paper §III.1).
+///
+/// The reference pressure is `1.0` in simulator units — the simulator's
+/// noise/signal amplitudes are calibrated so that SPL figures match the
+/// paper's dB scale directly.
+///
+/// Returns `Spl(-inf)` for silence.
+pub fn spl(signal: &[f64]) -> Spl {
+    Spl::from_amplitude(rms(signal))
+}
+
+/// Signal-to-noise ratio between a signal's power and a noise floor
+/// power, in dB.
+pub fn snr(signal_power: f64, noise_power: f64) -> Db {
+    Db::from_linear_power(signal_power / noise_power)
+}
+
+/// An energy-based silence detector.
+///
+/// WearLock first filters out silent sections of the recording; only when
+/// a window's SPL surpasses the configured noise level does the costly
+/// preamble cross-correlation run.
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_dsp::level::SilenceDetector;
+/// use wearlock_dsp::units::Spl;
+///
+/// let det = SilenceDetector::new(Spl(-20.0), 64)?;
+/// let silence = vec![0.0001; 256];
+/// let mut loud = vec![0.0; 256];
+/// for (i, s) in loud.iter_mut().enumerate() { *s = (i as f64 * 0.3).sin(); }
+/// assert!(det.first_active_window(&silence).is_none());
+/// assert!(det.first_active_window(&loud).is_some());
+/// # Ok::<(), wearlock_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SilenceDetector {
+    threshold: Spl,
+    window: usize,
+}
+
+impl SilenceDetector {
+    /// Creates a detector firing when a window's SPL exceeds `threshold`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidParameter`] if `window` is zero.
+    pub fn new(threshold: Spl, window: usize) -> Result<Self, DspError> {
+        if window == 0 {
+            return Err(DspError::InvalidParameter(
+                "silence detector window must be >= 1".into(),
+            ));
+        }
+        Ok(SilenceDetector { threshold, window })
+    }
+
+    /// The SPL threshold above which a window counts as active.
+    pub fn threshold(&self) -> Spl {
+        self.threshold
+    }
+
+    /// The window length in samples.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Returns whether the given window of samples is active (non-silent).
+    pub fn is_active(&self, window: &[f64]) -> bool {
+        spl(window) > self.threshold
+    }
+
+    /// Index of the first window (hop = window/2) whose level exceeds the
+    /// threshold, as a sample offset; `None` if the whole buffer is
+    /// silent.
+    pub fn first_active_window(&self, signal: &[f64]) -> Option<usize> {
+        let hop = (self.window / 2).max(1);
+        let mut start = 0;
+        while start < signal.len() {
+            let end = (start + self.window).min(signal.len());
+            if self.is_active(&signal[start..end]) {
+                return Some(start);
+            }
+            start += hop;
+        }
+        None
+    }
+
+    /// Trims leading silence, returning the active suffix of `signal`
+    /// (the whole signal if no active window is found returns an empty
+    /// slice).
+    pub fn trim_leading_silence<'a>(&self, signal: &'a [f64]) -> &'a [f64] {
+        match self.first_active_window(signal) {
+            Some(i) => &signal[i..],
+            None => &signal[signal.len()..],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rms_of_sine_is_inv_sqrt2() {
+        let n = 44_100;
+        let s: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 441.0 * i as f64 / n as f64).sin())
+            .collect();
+        assert!((rms(&s) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rms_empty_is_zero() {
+        assert_eq!(rms(&[]), 0.0);
+        assert_eq!(power(&[]), 0.0);
+        assert_eq!(energy(&[]), 0.0);
+    }
+
+    #[test]
+    fn spl_doubles_amplitude_plus_6db() {
+        let a = vec![0.1; 100];
+        let b = vec![0.2; 100];
+        let diff = spl(&b).value() - spl(&a).value();
+        assert!((diff - 6.0206).abs() < 1e-3);
+    }
+
+    #[test]
+    fn snr_is_power_ratio() {
+        assert!((snr(100.0, 1.0).value() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detector_rejects_zero_window() {
+        assert!(SilenceDetector::new(Spl(0.0), 0).is_err());
+    }
+
+    #[test]
+    fn detector_finds_burst_position() {
+        let det = SilenceDetector::new(Spl(-30.0), 32).unwrap();
+        let mut sig = vec![0.0; 1000];
+        for (i, s) in sig.iter_mut().enumerate().skip(500) {
+            *s = (i as f64 * 0.5).sin() * 0.5;
+        }
+        let pos = det.first_active_window(&sig).unwrap();
+        // Window hop = 16; must find the burst within one window of 500.
+        assert!((468..=500).contains(&pos), "pos = {pos}");
+        let trimmed = det.trim_leading_silence(&sig);
+        assert!(trimmed.len() >= 500);
+    }
+
+    #[test]
+    fn detector_all_silence_returns_none() {
+        let det = SilenceDetector::new(Spl(-10.0), 32).unwrap();
+        let sig = vec![1e-6; 512];
+        assert!(det.first_active_window(&sig).is_none());
+        assert!(det.trim_leading_silence(&sig).is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Window functions and amplitude ramps.
+//!
+//! WearLock applies a fade at the beginning of each emitted signal to
+//! counter the speaker *rise effect* (paper §III.3); windows are also
+//! used to shape the chirp preamble and in spectral measurements.
+
+/// Supported window shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WindowKind {
+    /// All-ones window.
+    #[default]
+    Rectangular,
+    /// Hann (raised cosine) window.
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// Blackman window.
+    Blackman,
+}
+
+impl WindowKind {
+    /// Generates the window coefficients for `len` points.
+    ///
+    /// `len == 0` yields an empty vector; `len == 1` yields `[1.0]`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use wearlock_dsp::window::WindowKind;
+    /// let w = WindowKind::Hann.coefficients(5);
+    /// assert_eq!(w.len(), 5);
+    /// assert!((w[2] - 1.0).abs() < 1e-12); // symmetric peak
+    /// ```
+    pub fn coefficients(self, len: usize) -> Vec<f64> {
+        if len == 0 {
+            return Vec::new();
+        }
+        if len == 1 {
+            return vec![1.0];
+        }
+        let m = (len - 1) as f64;
+        (0..len)
+            .map(|i| {
+                let x = i as f64 / m;
+                match self {
+                    WindowKind::Rectangular => 1.0,
+                    WindowKind::Hann => 0.5 - 0.5 * (2.0 * std::f64::consts::PI * x).cos(),
+                    WindowKind::Hamming => 0.54 - 0.46 * (2.0 * std::f64::consts::PI * x).cos(),
+                    WindowKind::Blackman => {
+                        0.42 - 0.5 * (2.0 * std::f64::consts::PI * x).cos()
+                            + 0.08 * (4.0 * std::f64::consts::PI * x).cos()
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Applies the window in place to `signal`.
+    pub fn apply(self, signal: &mut [f64]) {
+        let w = self.coefficients(signal.len());
+        for (s, c) in signal.iter_mut().zip(w) {
+            *s *= c;
+        }
+    }
+}
+
+/// Applies a raised-cosine fade-in over the first `fade_len` samples and
+/// a fade-out over the last `fade_len` samples.
+///
+/// This is WearLock's mitigation for the speaker rise/ringing effects:
+/// the emitted waveform never starts or stops abruptly. If the signal is
+/// shorter than `2 * fade_len` the fades are shortened to half the
+/// signal each.
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_dsp::window::apply_fade;
+/// let mut s = vec![1.0; 100];
+/// apply_fade(&mut s, 10);
+/// assert!(s[0] < 1e-9);          // starts from zero
+/// assert!(s[99] < 1e-9);         // ends at zero
+/// assert!((s[50] - 1.0).abs() < 1e-12); // untouched in the middle
+/// ```
+pub fn apply_fade(signal: &mut [f64], fade_len: usize) {
+    let n = signal.len();
+    let f = fade_len.min(n / 2);
+    for i in 0..f {
+        let g = 0.5 - 0.5 * (std::f64::consts::PI * i as f64 / f as f64).cos();
+        signal[i] *= g;
+        signal[n - 1 - i] *= g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_have_unit_peak_and_symmetry() {
+        for kind in [
+            WindowKind::Hann,
+            WindowKind::Hamming,
+            WindowKind::Blackman,
+            WindowKind::Rectangular,
+        ] {
+            let n = 65;
+            let w = kind.coefficients(n);
+            assert_eq!(w.len(), n);
+            let peak = w.iter().cloned().fold(f64::MIN, f64::max);
+            assert!(peak <= 1.0 + 1e-12, "{kind:?} peak {peak}");
+            for i in 0..n {
+                assert!(
+                    (w[i] - w[n - 1 - i]).abs() < 1e-12,
+                    "{kind:?} asymmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero() {
+        let w = WindowKind::Hann.coefficients(32);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[31].abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(WindowKind::Hann.coefficients(0).is_empty());
+        assert_eq!(WindowKind::Blackman.coefficients(1), vec![1.0]);
+    }
+
+    #[test]
+    fn apply_multiplies_in_place() {
+        let mut s = vec![2.0; 16];
+        WindowKind::Rectangular.apply(&mut s);
+        assert!(s.iter().all(|&v| (v - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn fade_is_monotone_on_edges() {
+        let mut s = vec![1.0; 64];
+        apply_fade(&mut s, 16);
+        for i in 1..16 {
+            assert!(s[i] >= s[i - 1]);
+            assert!(s[64 - 1 - i] >= s[64 - i]);
+        }
+    }
+
+    #[test]
+    fn fade_on_short_signal_does_not_panic() {
+        let mut s = vec![1.0; 3];
+        apply_fade(&mut s, 100);
+        assert_eq!(s.len(), 3);
+        assert!(s[0].abs() < 1e-12);
+    }
+}

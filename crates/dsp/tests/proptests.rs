@@ -1,0 +1,176 @@
+//! Property-based tests for the DSP substrate.
+
+use proptest::prelude::*;
+use wearlock_dsp::correlate::normalized_cross_correlate;
+use wearlock_dsp::level::rms;
+use wearlock_dsp::resample::fractional_delay;
+use wearlock_dsp::stats::{mean, pearson, percentile, variance};
+use wearlock_dsp::units::{Db, Spl};
+use wearlock_dsp::window::{apply_fade, WindowKind};
+use wearlock_dsp::{dft_naive, fft_interpolate, Complex, Fft};
+
+fn finite_signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0f64..1.0, 1..max_len)
+}
+
+fn complex_signal(len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), len..=len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+proptest! {
+    #[test]
+    fn fft_roundtrip_is_identity(x in complex_signal(64)) {
+        let fft = Fft::new(64).unwrap();
+        let back = fft.inverse(&fft.forward(&x).unwrap()).unwrap();
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft(x in complex_signal(32)) {
+        let fft = Fft::new(32).unwrap();
+        let fast = fft.forward(&x).unwrap();
+        let slow = dft_naive(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(
+        x in complex_signal(32),
+        y in complex_signal(32),
+        a in -2.0f64..2.0,
+    ) {
+        let fft = Fft::new(32).unwrap();
+        let lhs_in: Vec<Complex> = x.iter().zip(&y).map(|(u, v)| u.scale(a) + *v).collect();
+        let lhs = fft.forward(&lhs_in).unwrap();
+        let fx = fft.forward(&x).unwrap();
+        let fy = fft.forward(&y).unwrap();
+        for (l, (u, v)) in lhs.iter().zip(fx.iter().zip(&fy)) {
+            prop_assert!((*l - (u.scale(a) + *v)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(x in complex_signal(64)) {
+        let fft = Fft::new(64).unwrap();
+        let spec = fft.forward(&x).unwrap();
+        let et: f64 = x.iter().map(|z| z.norm_sq()).sum();
+        let ef: f64 = spec.iter().map(|z| z.norm_sq()).sum::<f64>() / 64.0;
+        prop_assert!((et - ef).abs() < 1e-8 * et.max(1.0));
+    }
+
+    #[test]
+    fn interpolation_preserves_original_samples(
+        x in complex_signal(16),
+        factor in prop::sample::select(vec![2usize, 4, 8]),
+    ) {
+        let out = fft_interpolate(&x, factor).unwrap();
+        prop_assert_eq!(out.len(), x.len() * factor);
+        // Band-limited interpolation must pass through every input point.
+        for (i, z) in x.iter().enumerate() {
+            prop_assert!((out[i * factor] - *z).abs() < 1e-8,
+                "sample {} mismatch: {} vs {}", i, out[i * factor], z);
+        }
+    }
+
+    #[test]
+    fn normalized_correlation_bounded(sig in finite_signal(256)) {
+        prop_assume!(sig.len() >= 8);
+        let template: Vec<f64> = (0..8).map(|i| ((i * 37) as f64 * 0.7).sin() + 0.1).collect();
+        let scores = normalized_cross_correlate(&sig, &template).unwrap();
+        for s in scores {
+            prop_assert!(s.abs() <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn correlation_of_signal_with_itself_peaks_at_one(sig in finite_signal(128)) {
+        let e: f64 = sig.iter().map(|x| x * x).sum();
+        prop_assume!(e > 1e-6);
+        let scores = normalized_cross_correlate(&sig, &sig).unwrap();
+        prop_assert!((scores[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rms_scales_linearly(sig in finite_signal(128), k in 0.1f64..10.0) {
+        let scaled: Vec<f64> = sig.iter().map(|x| x * k).collect();
+        prop_assert!((rms(&scaled) - k * rms(&sig)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_delay_bounded_overshoot(sig in finite_signal(64), d in 0.0f64..16.0) {
+        let delayed = fractional_delay(&sig, d);
+        // Windowed-sinc interpolation can ring slightly (Gibbs), but
+        // never beyond the kernel's L1 norm times the input peak.
+        let max_in = sig.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+        let max_out = delayed.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+        prop_assert!(max_out <= 3.0 * max_in + 1e-12, "in {max_in} out {max_out}");
+    }
+
+    #[test]
+    fn integer_delay_is_exact_shift(sig in finite_signal(64), d in 0usize..16) {
+        let delayed = fractional_delay(&sig, d as f64);
+        prop_assert_eq!(delayed.len(), sig.len() + d);
+        for (i, &v) in sig.iter().enumerate() {
+            prop_assert!((delayed[i + d] - v).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn db_roundtrip(v in -80.0f64..80.0) {
+        prop_assert!((Db::from_linear_power(Db(v).to_linear_power()).value() - v).abs() < 1e-9);
+        prop_assert!((Spl::from_amplitude(Spl(v).to_amplitude()).value() - v).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windows_bounded_zero_one(len in 2usize..200) {
+        for kind in [WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman] {
+            let w = kind.coefficients(len);
+            for c in w {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn fade_never_amplifies(mut sig in finite_signal(128), fade in 0usize..64) {
+        let orig = sig.clone();
+        apply_fade(&mut sig, fade);
+        for (a, b) in sig.iter().zip(&orig) {
+            prop_assert!(a.abs() <= b.abs() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn variance_nonnegative_and_shift_invariant(sig in finite_signal(64), shift in -5.0f64..5.0) {
+        let v1 = variance(&sig);
+        prop_assert!(v1 >= 0.0);
+        let shifted: Vec<f64> = sig.iter().map(|x| x + shift).collect();
+        prop_assert!((variance(&shifted) - v1).abs() < 1e-9);
+        prop_assert!((mean(&shifted) - mean(&sig) - shift).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_within_range(sig in finite_signal(64), p in 0.0f64..100.0) {
+        let lo = sig.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = sig.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let v = percentile(&sig, p);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn pearson_bounded(
+        pair in (2usize..64).prop_flat_map(|n| (
+            prop::collection::vec(-1.0f64..1.0, n),
+            prop::collection::vec(-1.0f64..1.0, n),
+        )),
+    ) {
+        let (a, b) = pair;
+        let r = pearson(&a, &b);
+        prop_assert!(r.abs() <= 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,259 @@
+//! Channel coding for the acoustic link.
+//!
+//! The paper's data-rate formula `R = |D|·r_c·log2(M)/(T_g+T_s)` carries
+//! a coding rate `r_c` ("rc = 1 if no channel coding is used") and its
+//! security analysis mentions "heavy error correction" as the price of
+//! 16QAM — so the design anticipates channel coding without fixing one.
+//! This module provides the classic choice for such links: a
+//! constraint-length-7, rate-1/2 convolutional code (the K=7 [171, 133]
+//! octal polynomials used from Voyager to 802.11) with hard-decision
+//! Viterbi decoding, plus the trivial repetition code for comparison.
+
+use crate::error::ModemError;
+
+/// Generator polynomials (octal 171, 133), constraint length 7.
+const G1: u8 = 0o171;
+const G2: u8 = 0o133;
+/// Constraint length.
+const K: usize = 7;
+/// Number of trellis states.
+const STATES: usize = 1 << (K - 1);
+
+fn parity(x: u8) -> bool {
+    x.count_ones() % 2 == 1
+}
+
+/// Encodes `bits` with the rate-1/2 convolutional code, appending
+/// `K-1` flush (tail) bits so the decoder terminates in state 0.
+///
+/// Output length is `2 * (bits.len() + 6)`.
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_modem::coding::{conv_encode, viterbi_decode};
+/// let data = vec![true, false, true, true, false];
+/// let coded = conv_encode(&data);
+/// assert_eq!(coded.len(), 2 * (data.len() + 6));
+/// assert_eq!(viterbi_decode(&coded, data.len())?, data);
+/// # Ok::<(), wearlock_modem::ModemError>(())
+/// ```
+pub fn conv_encode(bits: &[bool]) -> Vec<bool> {
+    let mut state: u8 = 0; // shift register of the last K-1 bits
+    let mut out = Vec::with_capacity(2 * (bits.len() + K - 1));
+    let push = |b: bool, state: &mut u8, out: &mut Vec<bool>| {
+        let reg = ((b as u8) << (K - 1)) | *state;
+        out.push(parity(reg & G1));
+        out.push(parity(reg & G2));
+        *state = reg >> 1;
+    };
+    for &b in bits {
+        push(b, &mut state, &mut out);
+    }
+    for _ in 0..K - 1 {
+        push(false, &mut state, &mut out);
+    }
+    out
+}
+
+/// Hard-decision Viterbi decoding of a rate-1/2 stream produced by
+/// [`conv_encode`]; returns the first `n_bits` information bits.
+///
+/// Tolerant of extra trailing symbols (they are ignored) and of bit
+/// errors up to roughly the code's free distance (d_free = 10 for this
+/// code: ~4 scattered channel errors per constraint span).
+///
+/// # Errors
+///
+/// Returns [`ModemError::InvalidInput`] when `coded` is shorter than
+/// the `2·(n_bits + 6)` symbols the terminated trellis needs.
+pub fn viterbi_decode(coded: &[bool], n_bits: usize) -> Result<Vec<bool>, ModemError> {
+    let total = n_bits + K - 1;
+    if coded.len() < 2 * total {
+        return Err(ModemError::InvalidInput(format!(
+            "need {} coded bits for {} data bits, got {}",
+            2 * total,
+            n_bits,
+            coded.len()
+        )));
+    }
+
+    const INF: u32 = u32::MAX / 2;
+    let mut metric = vec![INF; STATES];
+    metric[0] = 0;
+    // survivors[t][state] = (previous state, input bit)
+    let mut survivors: Vec<[(u8, bool); STATES]> = Vec::with_capacity(total);
+
+    for t in 0..total {
+        let r1 = coded[2 * t];
+        let r2 = coded[2 * t + 1];
+        let mut next = vec![INF; STATES];
+        let mut surv = [(0u8, false); STATES];
+        for s in 0..STATES {
+            if metric[s] == INF {
+                continue;
+            }
+            for b in [false, true] {
+                let reg = ((b as u8) << (K - 1)) | s as u8;
+                let o1 = parity(reg & G1);
+                let o2 = parity(reg & G2);
+                let cost = (o1 != r1) as u32 + (o2 != r2) as u32;
+                let ns = (reg >> 1) as usize;
+                let m = metric[s] + cost;
+                if m < next[ns] {
+                    next[ns] = m;
+                    surv[ns] = (s as u8, b);
+                }
+            }
+        }
+        survivors.push(surv);
+        metric = next;
+    }
+
+    // Terminated trellis: trace back from state 0.
+    let mut state = 0usize;
+    let mut bits_rev = Vec::with_capacity(total);
+    for t in (0..total).rev() {
+        let (prev, b) = survivors[t][state];
+        bits_rev.push(b);
+        state = prev as usize;
+    }
+    bits_rev.reverse();
+    bits_rev.truncate(n_bits);
+    Ok(bits_rev)
+}
+
+/// The coding schemes a WearLock deployment can use on the token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenCoding {
+    /// `r`-fold repetition with per-copy rotation and majority vote
+    /// (the default; `r_c = 1/r`).
+    Repetition(usize),
+    /// K=7 rate-1/2 convolutional code with Viterbi decoding
+    /// (`r_c = 1/2` plus 6 tail bits).
+    Convolutional,
+}
+
+impl TokenCoding {
+    /// Coded length for `n_bits` of payload.
+    pub fn coded_len(&self, n_bits: usize) -> usize {
+        match *self {
+            TokenCoding::Repetition(r) => n_bits * r.max(1),
+            TokenCoding::Convolutional => 2 * (n_bits + K - 1),
+        }
+    }
+
+    /// The coding rate `r_c` (payload bits per transmitted bit).
+    pub fn rate(&self, n_bits: usize) -> f64 {
+        n_bits as f64 / self.coded_len(n_bits) as f64
+    }
+}
+
+impl std::fmt::Display for TokenCoding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenCoding::Repetition(r) => write!(f, "repetition-{r}"),
+            TokenCoding::Convolutional => f.write_str("conv-K7-r1/2"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize) -> Vec<bool> {
+        (0..n).map(|i| (i * 29 + 3) % 7 < 3).collect()
+    }
+
+    #[test]
+    fn roundtrip_clean() {
+        for n in [1usize, 8, 32, 100] {
+            let d = data(n);
+            let c = conv_encode(&d);
+            assert_eq!(c.len(), 2 * (n + 6));
+            assert_eq!(viterbi_decode(&c, n).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn corrects_scattered_errors() {
+        let d = data(64);
+        let mut c = conv_encode(&d);
+        // Flip every 23rd coded bit (~4.3% BER, well-separated).
+        for i in (0..c.len()).step_by(23) {
+            c[i] = !c[i];
+        }
+        assert_eq!(viterbi_decode(&c, 64).unwrap(), d);
+    }
+
+    #[test]
+    fn corrects_a_short_burst() {
+        let d = data(64);
+        let mut c = conv_encode(&d);
+        for i in 40..43 {
+            c[i] = !c[i];
+        }
+        assert_eq!(viterbi_decode(&c, 64).unwrap(), d);
+    }
+
+    #[test]
+    fn fails_gracefully_on_heavy_corruption() {
+        let d = data(32);
+        let mut c = conv_encode(&d);
+        for b in c.iter_mut().step_by(2) {
+            *b = !*b; // 50% BER
+        }
+        // Decodes to *something* of the right length, almost surely not d.
+        let out = viterbi_decode(&c, 32).unwrap();
+        assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn rejects_short_input() {
+        assert!(viterbi_decode(&[true; 10], 32).is_err());
+    }
+
+    #[test]
+    fn tail_terminates_trellis() {
+        // The last K-1 encoded symbol pairs are the flush; corrupting
+        // data near the end must still decode thanks to termination.
+        let d = data(32);
+        let mut c = conv_encode(&d);
+        let n = c.len();
+        c[n - 14] = !c[n - 14];
+        assert_eq!(viterbi_decode(&c, 32).unwrap(), d);
+    }
+
+    #[test]
+    fn coding_metadata() {
+        assert_eq!(TokenCoding::Repetition(5).coded_len(32), 160);
+        assert_eq!(TokenCoding::Convolutional.coded_len(32), 76);
+        assert!((TokenCoding::Repetition(5).rate(32) - 0.2).abs() < 1e-12);
+        assert!((TokenCoding::Convolutional.rate(32) - 32.0 / 76.0).abs() < 1e-12);
+        assert_eq!(TokenCoding::Convolutional.to_string(), "conv-K7-r1/2");
+    }
+
+    #[test]
+    fn better_than_repetition_at_same_overhead_for_random_errors() {
+        // At ~5% random BER: conv (2.4x overhead) decodes clean; a
+        // 2x repetition cannot even break ties. This is the ablation's
+        // headline in unit-test form.
+        let d = data(32);
+        let mut c = conv_encode(&d);
+        let mut lcg = 88172645463325252u64;
+        let mut flips = 0;
+        for b in c.iter_mut() {
+            lcg ^= lcg << 13;
+            lcg ^= lcg >> 7;
+            lcg ^= lcg << 17;
+            let u = ((lcg >> 40) as f64) / ((1u64 << 24) as f64);
+            if u < 0.05 {
+                *b = !*b;
+                flips += 1;
+            }
+        }
+        assert!(flips > 0);
+        assert_eq!(viterbi_decode(&c, 32).unwrap(), d);
+    }
+}

@@ -1,0 +1,522 @@
+//! OFDM modem configuration.
+//!
+//! Defaults mirror the paper's implementation (§VI): FFT size 256 at
+//! 44.1 kHz (≈172 Hz sub-channel bandwidth), channels indexed 1–256,
+//! data channels {16,17,18,20,21,22,24,25,26,28,29,30}, pilot channels
+//! {7,11,15,19,23,27,31,35}, everything else null. Preamble 256 samples,
+//! post-preamble guard 1 024 samples, cyclic prefix 128 samples. The
+//! assignment is shifted to higher indices for the near-ultrasound
+//! (15–20 kHz) phone–phone band.
+
+use wearlock_dsp::chirp::Chirp;
+use wearlock_dsp::units::{Hz, SampleRate};
+
+use crate::error::ModemError;
+
+/// The operating frequency band (paper §III.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FrequencyBand {
+    /// Audible 1–6 kHz, the band a Moto 360's ~7 kHz input low-pass
+    /// leaves usable for a phone→watch link.
+    #[default]
+    Audible,
+    /// Near-ultrasound 15–20 kHz, usable on phone→phone pairs.
+    NearUltrasound,
+}
+
+impl FrequencyBand {
+    /// The chirp sweep range used for the preamble in this band.
+    pub fn chirp_range(self) -> (Hz, Hz) {
+        match self {
+            FrequencyBand::Audible => (Hz(1_000.0), Hz(6_000.0)),
+            FrequencyBand::NearUltrasound => (Hz(15_000.0), Hz(20_000.0)),
+        }
+    }
+
+    /// The sub-channel index shift applied to the default (audible)
+    /// channel assignment: bin k sits at `k·fs/N` Hz, so +71 moves the
+    /// audible assignment (bins 7–35, ≈1.2–6 kHz) up to ≈13.4–18.3 kHz.
+    pub fn index_shift(self) -> usize {
+        match self {
+            FrequencyBand::Audible => 0,
+            FrequencyBand::NearUltrasound => 71,
+        }
+    }
+}
+
+impl std::fmt::Display for FrequencyBand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrequencyBand::Audible => f.write_str("Audible"),
+            FrequencyBand::NearUltrasound => f.write_str("Near-ultrasound"),
+        }
+    }
+}
+
+/// Full modem configuration.
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_modem::config::{FrequencyBand, OfdmConfig};
+///
+/// let cfg = OfdmConfig::builder()
+///     .band(FrequencyBand::NearUltrasound)
+///     .build()?;
+/// assert_eq!(cfg.fft_size(), 256);
+/// assert_eq!(cfg.data_channels().len(), 12);
+/// # Ok::<(), wearlock_modem::ModemError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OfdmConfig {
+    fft_size: usize,
+    sample_rate: SampleRate,
+    cp_len: usize,
+    preamble_len: usize,
+    post_preamble_guard: usize,
+    band: FrequencyBand,
+    data_channels: Vec<usize>,
+    pilot_channels: Vec<usize>,
+    fine_sync_range: usize,
+}
+
+/// The paper's default audible-band data channels.
+pub const DEFAULT_DATA_CHANNELS: [usize; 12] = [16, 17, 18, 20, 21, 22, 24, 25, 26, 28, 29, 30];
+/// The paper's default audible-band pilot channels (equally spaced).
+pub const DEFAULT_PILOT_CHANNELS: [usize; 8] = [7, 11, 15, 19, 23, 27, 31, 35];
+
+impl OfdmConfig {
+    /// Starts building a configuration from the paper defaults.
+    pub fn builder() -> OfdmConfigBuilder {
+        OfdmConfigBuilder::default()
+    }
+
+    /// The FFT size `N`.
+    pub fn fft_size(&self) -> usize {
+        self.fft_size
+    }
+
+    /// The sample rate.
+    pub fn sample_rate(&self) -> SampleRate {
+        self.sample_rate
+    }
+
+    /// Cyclic prefix length in samples.
+    pub fn cp_len(&self) -> usize {
+        self.cp_len
+    }
+
+    /// Preamble (chirp) length in samples.
+    pub fn preamble_len(&self) -> usize {
+        self.preamble_len
+    }
+
+    /// Zero-guard length after the preamble, in samples.
+    pub fn post_preamble_guard(&self) -> usize {
+        self.post_preamble_guard
+    }
+
+    /// The operating band.
+    pub fn band(&self) -> FrequencyBand {
+        self.band
+    }
+
+    /// Data sub-channel indices (ascending).
+    pub fn data_channels(&self) -> &[usize] {
+        &self.data_channels
+    }
+
+    /// Pilot sub-channel indices (ascending).
+    pub fn pilot_channels(&self) -> &[usize] {
+        &self.pilot_channels
+    }
+
+    /// Null sub-channel indices inside the occupied band (between the
+    /// lowest and highest active channel) — the set `N` of the
+    /// pilot-SNR estimator (paper eq. 3).
+    pub fn null_channels_in_band(&self) -> Vec<usize> {
+        let lo = *self
+            .pilot_channels
+            .iter()
+            .chain(&self.data_channels)
+            .min()
+            .expect("validated non-empty");
+        let hi = *self
+            .pilot_channels
+            .iter()
+            .chain(&self.data_channels)
+            .max()
+            .expect("validated non-empty");
+        (lo..=hi)
+            .filter(|k| !self.data_channels.contains(k) && !self.pilot_channels.contains(k))
+            .collect()
+    }
+
+    /// Sub-channel bandwidth `fs / N` (≈172 Hz for the defaults).
+    pub fn subchannel_bandwidth(&self) -> Hz {
+        Hz(self.sample_rate.value() / self.fft_size as f64)
+    }
+
+    /// Centre frequency of sub-channel `k`.
+    pub fn channel_frequency(&self, k: usize) -> Hz {
+        Hz(k as f64 * self.subchannel_bandwidth().value())
+    }
+
+    /// Samples per OFDM symbol including the cyclic prefix.
+    pub fn symbol_len(&self) -> usize {
+        self.fft_size + self.cp_len
+    }
+
+    /// Search half-range `τ` (samples) for CP-based fine sync (eq. 2).
+    pub fn fine_sync_range(&self) -> usize {
+        self.fine_sync_range
+    }
+
+    /// The preamble chirp for this configuration.
+    pub fn preamble_chirp(&self) -> Chirp {
+        let (lo, hi) = self.band.chirp_range();
+        Chirp::new(lo, hi, self.preamble_len, self.sample_rate)
+            .expect("validated preamble parameters")
+    }
+
+    /// Occupied bandwidth `B` spanned by pilot+data channels, used in
+    /// the `Eb/N0 = C/N · B/R` conversion.
+    pub fn occupied_bandwidth(&self) -> Hz {
+        let lo = *self
+            .pilot_channels
+            .iter()
+            .chain(&self.data_channels)
+            .min()
+            .expect("validated non-empty");
+        let hi = *self
+            .pilot_channels
+            .iter()
+            .chain(&self.data_channels)
+            .max()
+            .expect("validated non-empty");
+        Hz((hi - lo + 1) as f64 * self.subchannel_bandwidth().value())
+    }
+
+    /// Raw data rate `R = |D|·r_c·log2(M) / (T_g + T_s)` in bits/s for a
+    /// modulation of `bits_per_symbol` bits (no channel coding,
+    /// `r_c = 1`; paper §III.7).
+    pub fn data_rate(&self, bits_per_symbol: usize) -> f64 {
+        let t_symbol = self.symbol_len() as f64 / self.sample_rate.value();
+        self.data_channels.len() as f64 * bits_per_symbol as f64 / t_symbol
+    }
+
+    /// Bits carried by one OFDM block at `bits_per_symbol`.
+    pub fn bits_per_block(&self, bits_per_symbol: usize) -> usize {
+        self.data_channels.len() * bits_per_symbol
+    }
+
+    /// Returns a copy with different data channels (used by sub-channel
+    /// selection after probing).
+    ///
+    /// # Errors
+    ///
+    /// Same validation as the builder.
+    pub fn with_data_channels(&self, data_channels: Vec<usize>) -> Result<Self, ModemError> {
+        OfdmConfigBuilder::from(self.clone())
+            .data_channels(data_channels)
+            .build()
+    }
+}
+
+impl Default for OfdmConfig {
+    fn default() -> Self {
+        OfdmConfig::builder()
+            .build()
+            .expect("default config is valid")
+    }
+}
+
+/// Builder for [`OfdmConfig`].
+#[derive(Debug, Clone)]
+pub struct OfdmConfigBuilder {
+    fft_size: usize,
+    sample_rate: SampleRate,
+    cp_len: usize,
+    preamble_len: usize,
+    post_preamble_guard: usize,
+    band: FrequencyBand,
+    data_channels: Option<Vec<usize>>,
+    pilot_channels: Option<Vec<usize>>,
+    fine_sync_range: usize,
+}
+
+impl Default for OfdmConfigBuilder {
+    fn default() -> Self {
+        OfdmConfigBuilder {
+            fft_size: 256,
+            sample_rate: SampleRate::CD,
+            cp_len: 128,
+            preamble_len: 256,
+            post_preamble_guard: 1_024,
+            band: FrequencyBand::Audible,
+            data_channels: None,
+            pilot_channels: None,
+            fine_sync_range: 8,
+        }
+    }
+}
+
+impl From<OfdmConfig> for OfdmConfigBuilder {
+    fn from(cfg: OfdmConfig) -> Self {
+        OfdmConfigBuilder {
+            fft_size: cfg.fft_size,
+            sample_rate: cfg.sample_rate,
+            cp_len: cfg.cp_len,
+            preamble_len: cfg.preamble_len,
+            post_preamble_guard: cfg.post_preamble_guard,
+            band: cfg.band,
+            data_channels: Some(cfg.data_channels),
+            pilot_channels: Some(cfg.pilot_channels),
+            fine_sync_range: cfg.fine_sync_range,
+        }
+    }
+}
+
+impl OfdmConfigBuilder {
+    /// Sets the FFT size (default 256).
+    pub fn fft_size(mut self, fft_size: usize) -> Self {
+        self.fft_size = fft_size;
+        self
+    }
+
+    /// Sets the sample rate (default 44.1 kHz).
+    pub fn sample_rate(mut self, sample_rate: SampleRate) -> Self {
+        self.sample_rate = sample_rate;
+        self
+    }
+
+    /// Sets the cyclic prefix length (default 128).
+    pub fn cp_len(mut self, cp_len: usize) -> Self {
+        self.cp_len = cp_len;
+        self
+    }
+
+    /// Sets the preamble length (default 256).
+    pub fn preamble_len(mut self, preamble_len: usize) -> Self {
+        self.preamble_len = preamble_len;
+        self
+    }
+
+    /// Sets the post-preamble guard (default 1024).
+    pub fn post_preamble_guard(mut self, guard: usize) -> Self {
+        self.post_preamble_guard = guard;
+        self
+    }
+
+    /// Sets the operating band (default audible). When channels are not
+    /// explicitly provided, the default assignment is shifted into the
+    /// band automatically.
+    pub fn band(mut self, band: FrequencyBand) -> Self {
+        self.band = band;
+        self
+    }
+
+    /// Sets explicit data channels.
+    pub fn data_channels(mut self, channels: Vec<usize>) -> Self {
+        self.data_channels = Some(channels);
+        self
+    }
+
+    /// Sets explicit pilot channels.
+    pub fn pilot_channels(mut self, channels: Vec<usize>) -> Self {
+        self.pilot_channels = Some(channels);
+        self
+    }
+
+    /// Sets the fine-sync search half-range `τ` in samples (default 8).
+    pub fn fine_sync_range(mut self, range: usize) -> Self {
+        self.fine_sync_range = range;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModemError::InvalidConfig`] when the FFT size is not a
+    /// power of two, the CP is not shorter than the FFT, channel sets
+    /// are empty/overlapping/out of range, or the pilot spacing is not
+    /// uniform (required by FFT interpolation).
+    pub fn build(self) -> Result<OfdmConfig, ModemError> {
+        if !self.fft_size.is_power_of_two() || self.fft_size < 16 {
+            return Err(ModemError::InvalidConfig(format!(
+                "fft size {} must be a power of two >= 16",
+                self.fft_size
+            )));
+        }
+        if self.cp_len == 0 || self.cp_len >= self.fft_size {
+            return Err(ModemError::InvalidConfig(format!(
+                "cyclic prefix {} must be in 1..fft_size",
+                self.cp_len
+            )));
+        }
+        if self.preamble_len == 0 {
+            return Err(ModemError::InvalidConfig(
+                "preamble length must be positive".into(),
+            ));
+        }
+        let shift = self.band.index_shift();
+        let mut data: Vec<usize> = self
+            .data_channels
+            .unwrap_or_else(|| DEFAULT_DATA_CHANNELS.iter().map(|k| k + shift).collect());
+        let mut pilots: Vec<usize> = self
+            .pilot_channels
+            .unwrap_or_else(|| DEFAULT_PILOT_CHANNELS.iter().map(|k| k + shift).collect());
+        data.sort_unstable();
+        data.dedup();
+        pilots.sort_unstable();
+        pilots.dedup();
+        if data.is_empty() || pilots.is_empty() {
+            return Err(ModemError::InvalidConfig(
+                "data and pilot channel sets must be non-empty".into(),
+            ));
+        }
+        let max_bin = self.fft_size / 2 - 1;
+        for &k in data.iter().chain(&pilots) {
+            if k == 0 || k > max_bin {
+                return Err(ModemError::InvalidConfig(format!(
+                    "channel {k} outside 1..={max_bin}"
+                )));
+            }
+        }
+        if data.iter().any(|k| pilots.contains(k)) {
+            return Err(ModemError::InvalidConfig(
+                "data and pilot channels overlap".into(),
+            ));
+        }
+        if pilots.len() >= 2 {
+            let spacing = pilots[1] - pilots[0];
+            if spacing == 0 || pilots.windows(2).any(|w| w[1] - w[0] != spacing) {
+                return Err(ModemError::InvalidConfig(
+                    "pilot channels must be equally spaced".into(),
+                ));
+            }
+        }
+        // Preamble chirp must be constructible.
+        let (lo, hi) = self.band.chirp_range();
+        Chirp::new(lo, hi, self.preamble_len, self.sample_rate)
+            .map_err(|e| ModemError::InvalidConfig(format!("preamble: {e}")))?;
+
+        Ok(OfdmConfig {
+            fft_size: self.fft_size,
+            sample_rate: self.sample_rate,
+            cp_len: self.cp_len,
+            preamble_len: self.preamble_len,
+            post_preamble_guard: self.post_preamble_guard,
+            band: self.band,
+            data_channels: data,
+            pilot_channels: pilots,
+            fine_sync_range: self.fine_sync_range,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = OfdmConfig::default();
+        assert_eq!(cfg.fft_size(), 256);
+        assert_eq!(cfg.cp_len(), 128);
+        assert_eq!(cfg.preamble_len(), 256);
+        assert_eq!(cfg.post_preamble_guard(), 1_024);
+        assert_eq!(cfg.data_channels(), &DEFAULT_DATA_CHANNELS);
+        assert_eq!(cfg.pilot_channels(), &DEFAULT_PILOT_CHANNELS);
+        // ~172 Hz sub-channel bandwidth.
+        assert!((cfg.subchannel_bandwidth().value() - 172.27).abs() < 0.1);
+    }
+
+    #[test]
+    fn near_ultrasound_shifts_channels_into_band() {
+        let cfg = OfdmConfig::builder()
+            .band(FrequencyBand::NearUltrasound)
+            .build()
+            .unwrap();
+        let f_lo = cfg.channel_frequency(*cfg.pilot_channels().first().unwrap());
+        let f_hi = cfg.channel_frequency(*cfg.pilot_channels().last().unwrap());
+        assert!(f_lo.value() > 13_000.0, "{f_lo}");
+        assert!(f_hi.value() < 20_000.0, "{f_hi}");
+    }
+
+    #[test]
+    fn null_channels_fill_gaps() {
+        let cfg = OfdmConfig::default();
+        let nulls = cfg.null_channels_in_band();
+        // Between 7 and 35 inclusive: 29 bins, 12 data + 8 pilots = 20
+        // active, 9 nulls.
+        assert_eq!(nulls.len(), 9);
+        assert!(nulls.contains(&8));
+        assert!(nulls.contains(&19) == false);
+    }
+
+    #[test]
+    fn data_rate_formula() {
+        let cfg = OfdmConfig::default();
+        // |D|=12, symbol = 384 samples at 44.1kHz → 8.71ms.
+        let r = cfg.data_rate(2);
+        let expect = 12.0 * 2.0 / (384.0 / 44_100.0);
+        assert!((r - expect).abs() < 1e-9);
+        assert_eq!(cfg.bits_per_block(3), 36);
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        assert!(OfdmConfig::builder().fft_size(100).build().is_err());
+        assert!(OfdmConfig::builder().cp_len(0).build().is_err());
+        assert!(OfdmConfig::builder().cp_len(256).build().is_err());
+        assert!(OfdmConfig::builder().preamble_len(0).build().is_err());
+        assert!(OfdmConfig::builder()
+            .data_channels(vec![])
+            .build()
+            .is_err());
+        assert!(OfdmConfig::builder()
+            .data_channels(vec![7])
+            .build()
+            .is_err()); // overlaps pilot 7
+        assert!(OfdmConfig::builder()
+            .data_channels(vec![500])
+            .build()
+            .is_err()); // out of range
+        assert!(OfdmConfig::builder()
+            .pilot_channels(vec![7, 11, 16])
+            .build()
+            .is_err()); // uneven spacing
+        assert!(OfdmConfig::builder()
+            .data_channels(vec![0])
+            .build()
+            .is_err()); // DC bin
+    }
+
+    #[test]
+    fn with_data_channels_replaces_set() {
+        let cfg = OfdmConfig::default();
+        let cfg2 = cfg.with_data_channels(vec![17, 18, 20, 21]).unwrap();
+        assert_eq!(cfg2.data_channels(), &[17, 18, 20, 21]);
+        assert_eq!(cfg2.pilot_channels(), cfg.pilot_channels());
+    }
+
+    #[test]
+    fn symbol_and_bandwidth_accessors() {
+        let cfg = OfdmConfig::default();
+        assert_eq!(cfg.symbol_len(), 384);
+        assert!((cfg.channel_frequency(16).value() - 2_756.25).abs() < 0.1);
+        // Occupied band 7..=35 → 29 bins ≈ 5 kHz.
+        assert!((cfg.occupied_bandwidth().value() - 29.0 * 172.27).abs() < 2.0);
+    }
+
+    #[test]
+    fn preamble_chirp_spans_band() {
+        let cfg = OfdmConfig::default();
+        let chirp = cfg.preamble_chirp();
+        assert_eq!(chirp.f_start(), Hz(1_000.0));
+        assert_eq!(chirp.f_end(), Hz(6_000.0));
+        assert_eq!(chirp.len(), 256);
+    }
+}

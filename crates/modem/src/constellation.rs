@@ -1,0 +1,368 @@
+//! Constellation mapping and de-mapping.
+//!
+//! WearLock supports BASK/QASK, BPSK/QPSK, 8PSK and 16QAM (paper
+//! §III.7). Binary payloads are Gray-mapped onto complex QAM symbols
+//! `X_k = X_I(k) + j·X_Q(k)` before the IFFT, and de-mapped by
+//! minimum-distance decision after equalization.
+//!
+//! Every constellation is normalized to unit *average* symbol energy so
+//! SNR accounting is comparable across modulations.
+
+use std::fmt;
+
+use wearlock_dsp::Complex;
+
+/// The modulation schemes the modem supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Modulation {
+    /// Binary amplitude-shift keying (on/off keying), 1 bit/symbol.
+    Bask,
+    /// Quaternary amplitude-shift keying (4-ASK), 2 bits/symbol.
+    Qask,
+    /// Binary phase-shift keying, 1 bit/symbol.
+    Bpsk,
+    /// Quadrature phase-shift keying, 2 bits/symbol.
+    Qpsk,
+    /// 8-ary phase-shift keying, 3 bits/symbol.
+    Psk8,
+    /// 16-ary quadrature amplitude modulation, 4 bits/symbol.
+    Qam16,
+}
+
+impl Modulation {
+    /// All supported modulations, in Fig. 5 legend order.
+    pub const ALL: [Modulation; 6] = [
+        Modulation::Bask,
+        Modulation::Qask,
+        Modulation::Bpsk,
+        Modulation::Qpsk,
+        Modulation::Psk8,
+        Modulation::Qam16,
+    ];
+
+    /// Bits carried per symbol (`log2 M`).
+    pub fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Bask | Modulation::Bpsk => 1,
+            Modulation::Qask | Modulation::Qpsk => 2,
+            Modulation::Psk8 => 3,
+            Modulation::Qam16 => 4,
+        }
+    }
+
+    /// The modulation order `M`.
+    pub fn order(self) -> usize {
+        1 << self.bits_per_symbol()
+    }
+
+    /// The constellation points, indexed by Gray-coded bit pattern.
+    ///
+    /// `points()[g]` is the symbol transmitted for bit pattern `g`
+    /// (LSB-first within the symbol). Average energy is 1.
+    pub fn points(self) -> Vec<Complex> {
+        match self {
+            Modulation::Bask => {
+                // {0, A} with A²/2 = 1.
+                let a = std::f64::consts::SQRT_2;
+                vec![Complex::ZERO, Complex::from_re(a)]
+            }
+            Modulation::Qask => {
+                // 4 amplitudes {0, d, 2d, 3d}, Gray order 00,01,11,10.
+                let d = (4.0f64 / 14.0).sqrt(); // (0+1+4+9)d²/4 = 1
+                let amps = [0.0, d, 3.0 * d, 2.0 * d];
+                amps.iter().map(|&a| Complex::from_re(a)).collect()
+            }
+            Modulation::Bpsk => vec![Complex::from_re(1.0), Complex::from_re(-1.0)],
+            Modulation::Qpsk => {
+                // Gray: 00→(1+j), 01→(-1+j), 11→(-1-j), 10→(1-j), /√2.
+                let s = std::f64::consts::FRAC_1_SQRT_2;
+                vec![
+                    Complex::new(s, s),
+                    Complex::new(-s, s),
+                    Complex::new(s, -s),
+                    Complex::new(-s, -s),
+                ]
+            }
+            Modulation::Psk8 => {
+                // Gray-coded phases: bit pattern g at angle π/4·gray⁻¹.
+                let gray_order = [0usize, 1, 3, 2, 6, 7, 5, 4];
+                let mut pts = vec![Complex::ZERO; 8];
+                for (pos, &g) in gray_order.iter().enumerate() {
+                    pts[g] = Complex::cis(std::f64::consts::FRAC_PI_4 * pos as f64);
+                }
+                pts
+            }
+            Modulation::Qam16 => {
+                // Gray per axis: 2 bits → {-3,-1,1,3}/√10.
+                let axis = |b: usize| -> f64 {
+                    match b {
+                        0b00 => -3.0,
+                        0b01 => -1.0,
+                        0b11 => 1.0,
+                        _ => 3.0, // 0b10
+                    }
+                };
+                let k = 1.0 / 10f64.sqrt();
+                (0..16)
+                    .map(|g| Complex::new(k * axis(g & 0b11), k * axis((g >> 2) & 0b11)))
+                    .collect()
+            }
+        }
+    }
+
+    /// Maps `bits_per_symbol` bits (LSB-first) to a constellation point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != bits_per_symbol()` — callers chunk the
+    /// payload with [`Modulation::bits_per_symbol`].
+    pub fn map(self, bits: &[bool]) -> Complex {
+        assert_eq!(
+            bits.len(),
+            self.bits_per_symbol(),
+            "bit group size mismatch for {self}"
+        );
+        let mut idx = 0usize;
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                idx |= 1 << i;
+            }
+        }
+        self.points()[idx]
+    }
+
+    /// De-maps a received symbol to the nearest constellation point's
+    /// bit pattern (LSB-first).
+    ///
+    /// Amplitude-shift keying is decided on the envelope `|z|` alone —
+    /// the way a real ASK receiver works — which is what makes ASK
+    /// robust to the phase distortions of consumer audio chains (the
+    /// paper's Fig. 5 finding). Phase-bearing constellations use
+    /// minimum Euclidean distance in the complex plane.
+    pub fn demap(self, symbol: Complex) -> Vec<bool> {
+        let pts = self.points();
+        let best = match self {
+            Modulation::Bask | Modulation::Qask => {
+                let mag = symbol.abs();
+                pts.iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, (mag - p.abs()).abs()))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("constellations are non-empty")
+                    .0
+            }
+            _ => {
+                pts.iter()
+                    .enumerate()
+                    .map(|(i, p)| (i, (symbol - *p).norm_sq()))
+                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("constellations are non-empty")
+                    .0
+            }
+        };
+        (0..self.bits_per_symbol())
+            .map(|i| best & (1 << i) != 0)
+            .collect()
+    }
+
+    /// Average symbol energy (should be ≈1 for all constellations).
+    pub fn average_energy(self) -> f64 {
+        let pts = self.points();
+        pts.iter().map(|p| p.norm_sq()).sum::<f64>() / pts.len() as f64
+    }
+
+    /// Minimum distance between distinct constellation points — the
+    /// first-order predictor of noise robustness (higher order → smaller
+    /// distance → more vulnerable, paper §III.7).
+    pub fn min_distance(self) -> f64 {
+        let pts = self.points();
+        let mut best = f64::INFINITY;
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                best = best.min((pts[i] - pts[j]).abs());
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for Modulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Modulation::Bask => "BASK",
+            Modulation::Qask => "QASK",
+            Modulation::Bpsk => "BPSK",
+            Modulation::Qpsk => "QPSK",
+            Modulation::Psk8 => "8PSK",
+            Modulation::Qam16 => "16QAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Packs a bit slice into symbols of `modulation`, zero-padding the last
+/// group.
+pub fn map_bits(modulation: Modulation, bits: &[bool]) -> Vec<Complex> {
+    let bps = modulation.bits_per_symbol();
+    bits.chunks(bps)
+        .map(|chunk| {
+            if chunk.len() == bps {
+                modulation.map(chunk)
+            } else {
+                let mut padded = chunk.to_vec();
+                padded.resize(bps, false);
+                modulation.map(&padded)
+            }
+        })
+        .collect()
+}
+
+/// De-maps symbols back to a bit vector (length `symbols × bps`; the
+/// caller truncates any padding).
+pub fn demap_symbols(modulation: Modulation, symbols: &[Complex]) -> Vec<bool> {
+    symbols
+        .iter()
+        .flat_map(|&s| modulation.demap(s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_constellations_unit_average_energy() {
+        for m in Modulation::ALL {
+            let e = m.average_energy();
+            assert!((e - 1.0).abs() < 1e-9, "{m}: energy {e}");
+        }
+    }
+
+    #[test]
+    fn orders_and_bits() {
+        assert_eq!(Modulation::Bask.order(), 2);
+        assert_eq!(Modulation::Qask.order(), 4);
+        assert_eq!(Modulation::Psk8.order(), 8);
+        assert_eq!(Modulation::Qam16.order(), 16);
+        assert_eq!(Modulation::Qam16.bits_per_symbol(), 4);
+    }
+
+    #[test]
+    fn map_demap_roundtrip_all_patterns() {
+        for m in Modulation::ALL {
+            let bps = m.bits_per_symbol();
+            for pattern in 0..m.order() {
+                let bits: Vec<bool> = (0..bps).map(|i| pattern & (1 << i) != 0).collect();
+                let sym = m.map(&bits);
+                assert_eq!(m.demap(sym), bits, "{m} pattern {pattern:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn points_are_distinct() {
+        for m in Modulation::ALL {
+            let pts = m.points();
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    assert!(
+                        (pts[i] - pts[j]).abs() > 1e-9,
+                        "{m}: duplicate points {i},{j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_distance_decreases_with_order_within_family() {
+        // PSK family: BPSK > QPSK > 8PSK.
+        assert!(Modulation::Bpsk.min_distance() > Modulation::Qpsk.min_distance());
+        assert!(Modulation::Qpsk.min_distance() > Modulation::Psk8.min_distance());
+        // ASK family: BASK > QASK.
+        assert!(Modulation::Bask.min_distance() > Modulation::Qask.min_distance());
+    }
+
+    #[test]
+    fn gray_coding_adjacent_psk8_differ_one_bit() {
+        // Adjacent 8PSK phases must differ in exactly one bit.
+        let pts = Modulation::Psk8.points();
+        // Recover pattern per angular position.
+        let mut by_angle: Vec<(f64, usize)> = pts
+            .iter()
+            .enumerate()
+            .map(|(g, p)| (p.arg().rem_euclid(std::f64::consts::TAU), g))
+            .collect();
+        by_angle.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for w in 0..8 {
+            let a = by_angle[w].1;
+            let b = by_angle[(w + 1) % 8].1;
+            assert_eq!((a ^ b).count_ones(), 1, "neighbors {a:03b} {b:03b}");
+        }
+    }
+
+    #[test]
+    fn gray_coding_qam16_neighbors_differ_one_bit() {
+        // Horizontally adjacent QAM16 points differ in one bit.
+        let pts = Modulation::Qam16.points();
+        for g1 in 0..16usize {
+            for g2 in 0..16usize {
+                if g1 >= g2 {
+                    continue;
+                }
+                let d = (pts[g1] - pts[g2]).abs();
+                if (d - Modulation::Qam16.min_distance()).abs() < 1e-9 {
+                    assert_eq!(
+                        (g1 ^ g2).count_ones(),
+                        1,
+                        "adjacent {g1:04b} {g2:04b} differ more than one bit"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_bits_pads_final_group() {
+        let syms = map_bits(Modulation::Qpsk, &[true, false, true]);
+        assert_eq!(syms.len(), 2);
+        // Last chunk [true] padded to [true, false].
+        assert_eq!(syms[1], Modulation::Qpsk.map(&[true, false]));
+    }
+
+    #[test]
+    fn demap_symbols_concatenates() {
+        let bits = vec![true, false, false, true, true, true];
+        let syms = map_bits(Modulation::Bpsk, &bits);
+        assert_eq!(demap_symbols(Modulation::Bpsk, &syms), bits);
+    }
+
+    #[test]
+    fn demap_is_noise_tolerant_within_half_min_distance() {
+        for m in Modulation::ALL {
+            let eps = 0.4 * m.min_distance();
+            for pattern in 0..m.order() {
+                let bits: Vec<bool> = (0..m.bits_per_symbol())
+                    .map(|i| pattern & (1 << i) != 0)
+                    .collect();
+                let sym = m.map(&bits) + Complex::new(eps * 0.7, eps * 0.7 * 0.5);
+                // Perturbation below half min distance: still decodes.
+                if (Complex::new(eps * 0.7, eps * 0.35)).abs() < 0.5 * m.min_distance() {
+                    assert_eq!(m.demap(sym), bits, "{m} pattern {pattern:b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bit group size mismatch")]
+    fn map_panics_on_wrong_group_size() {
+        Modulation::Qpsk.map(&[true]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Modulation::Psk8.to_string(), "8PSK");
+        assert_eq!(Modulation::Qam16.to_string(), "16QAM");
+    }
+}

@@ -1,0 +1,796 @@
+//! OFDM receiver: silence detection → preamble detection & coarse sync
+//! → CP-based fine sync → FFT → pilot channel estimation & equalization
+//! → constellation de-mapping (paper Fig. 3, RX path).
+
+use wearlock_dsp::correlate::{normalized_cross_correlate, DelayProfile};
+use wearlock_dsp::level::SilenceDetector;
+use wearlock_dsp::units::{Db, Spl};
+use wearlock_dsp::{fft_interpolate, Complex, Fft};
+
+use crate::config::OfdmConfig;
+use crate::constellation::Modulation;
+use crate::error::ModemError;
+
+/// Default normalized-correlation threshold below which no preamble is
+/// considered present.
+///
+/// The paper quotes 0.05 for its NLOS check; with our sliding
+/// per-window normalization the maximum score of *pure noise* over a
+/// seconds-long recording already reaches ≈0.25 (extreme-value statistics
+/// of ~10⁴ correlation trials at 256 samples), so the default here is
+/// 0.35. Callers probing deliberately weak links can lower it.
+pub const DEFAULT_DETECTION_THRESHOLD: f64 = 0.35;
+
+/// Result of preamble detection and coarse synchronization.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameSync {
+    /// Sample offset of the preamble start in the recording.
+    pub preamble_offset: usize,
+    /// Peak normalized correlation score, in `[-1, 1]`.
+    pub preamble_score: f64,
+    /// RMS delay spread `τ_rms` of the preamble's delay profile, in
+    /// seconds — the paper's NLOS indicator.
+    pub rms_delay_spread: f64,
+}
+
+/// Per-block decoding diagnostics.
+#[derive(Debug, Clone)]
+pub struct BlockInfo {
+    /// Fine-sync adjustment chosen for this block, in samples.
+    pub fine_offset: isize,
+    /// Equalized data-channel symbols.
+    pub equalized: Vec<Complex>,
+    /// Mean squared distance from each equalized symbol to its decision
+    /// point (a per-block error-vector-magnitude measure).
+    pub evm: f64,
+}
+
+/// A decoded frame.
+#[derive(Debug, Clone)]
+pub struct DemodResult {
+    /// Recovered payload bits (truncated to the requested length).
+    pub bits: Vec<bool>,
+    /// Synchronization info.
+    pub sync: FrameSync,
+    /// Per-block diagnostics.
+    pub blocks: Vec<BlockInfo>,
+}
+
+/// Channel state extracted from an RTS probe recording.
+#[derive(Debug, Clone)]
+pub struct ProbeReport {
+    /// Synchronization info for the probe.
+    pub sync: FrameSync,
+    /// Pilot-based SNR (paper eq. 3), as a dB figure.
+    pub psnr: Db,
+    /// Per-sub-channel noise power (length `fft_size/2`), estimated from
+    /// the ambient samples recorded before the preamble.
+    pub noise_spectrum: Vec<f64>,
+    /// Estimated complex channel gain on each active sub-channel
+    /// (index = sub-channel, `None` where not probed).
+    pub channel_gain: Vec<Option<Complex>>,
+    /// Ambient SPL measured before the preamble.
+    pub ambient_spl: Spl,
+}
+
+impl ProbeReport {
+    /// Converts the pilot SNR into `Eb/N0` for a candidate modulation:
+    /// `Eb/N0 = C/N · B/R` (paper §III.7).
+    pub fn ebn0(&self, config: &OfdmConfig, modulation: Modulation) -> Db {
+        ebn0_from_psnr(self.psnr, config, modulation)
+    }
+
+    /// Noise power on one sub-channel.
+    pub fn noise_on(&self, channel: usize) -> f64 {
+        self.noise_spectrum.get(channel).copied().unwrap_or(0.0)
+    }
+}
+
+/// Converts a carrier-to-noise figure into `Eb/N0` for `modulation`
+/// under `config`: `Eb/N0 = C/N · B/R`.
+pub fn ebn0_from_psnr(psnr: Db, config: &OfdmConfig, modulation: Modulation) -> Db {
+    let b = config.occupied_bandwidth().value();
+    let r = config.data_rate(modulation.bits_per_symbol());
+    Db(psnr.value() + 10.0 * (b / r).log10())
+}
+
+/// Channel-estimation interpolation strategy between pilot bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChannelEstimator {
+    /// Interpolate pilot magnitude and (unwrapped) phase separately —
+    /// magnitude stays exact for unit pilots, so amplitude keying is
+    /// immune to the audio chain's phase ripple. Default.
+    #[default]
+    MagnitudePhase,
+    /// FFT interpolation of the complex pilot sequence (the paper's
+    /// described scheme; ablation shows it couples phase ripple into
+    /// amplitude error between pilots).
+    FftComplex,
+    /// No interpolation: each bin copies its nearest pilot (ablation
+    /// baseline).
+    NearestPilot,
+}
+
+/// The OFDM receiver.
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_modem::config::OfdmConfig;
+/// use wearlock_modem::constellation::Modulation;
+/// use wearlock_modem::demodulator::OfdmDemodulator;
+/// use wearlock_modem::modulator::OfdmModulator;
+///
+/// let cfg = OfdmConfig::default();
+/// let tx = OfdmModulator::new(cfg.clone())?;
+/// let rx = OfdmDemodulator::new(cfg)?;
+/// let bits = vec![true, false, true, true];
+/// let wave = tx.modulate(&bits, Modulation::Qpsk)?;
+/// let result = rx.demodulate(&wave, Modulation::Qpsk, bits.len())?;
+/// assert_eq!(result.bits, bits);
+/// # Ok::<(), wearlock_modem::ModemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OfdmDemodulator {
+    config: OfdmConfig,
+    fft: Fft,
+    preamble: Vec<f64>,
+    detection_threshold: f64,
+    estimator: ChannelEstimator,
+}
+
+impl OfdmDemodulator {
+    /// Creates a receiver for the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModemError::Dsp`] if the FFT cannot be planned.
+    pub fn new(config: OfdmConfig) -> Result<Self, ModemError> {
+        let fft = Fft::new(config.fft_size())?;
+        let preamble = config.preamble_chirp().generate();
+        Ok(OfdmDemodulator {
+            config,
+            fft,
+            preamble,
+            detection_threshold: DEFAULT_DETECTION_THRESHOLD,
+            estimator: ChannelEstimator::default(),
+        })
+    }
+
+    /// Overrides the preamble detection threshold (default 0.35).
+    pub fn with_detection_threshold(mut self, threshold: f64) -> Self {
+        self.detection_threshold = threshold;
+        self
+    }
+
+    /// Overrides the channel-estimation interpolation strategy.
+    pub fn with_estimator(mut self, estimator: ChannelEstimator) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OfdmConfig {
+        &self.config
+    }
+
+    /// Detects the preamble: energy-based silence filtering first, then
+    /// normalized cross-correlation against the known chirp.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModemError::SignalNotFound`] when the best score stays
+    /// below the detection threshold, and [`ModemError::InvalidInput`]
+    /// when the recording is shorter than the preamble.
+    pub fn detect(&self, recording: &[f64]) -> Result<FrameSync, ModemError> {
+        if recording.len() < self.preamble.len() {
+            return Err(ModemError::InvalidInput(format!(
+                "recording ({} samples) shorter than preamble ({})",
+                recording.len(),
+                self.preamble.len()
+            )));
+        }
+        // Estimate the noise floor from the head of the recording and
+        // skip sections that never rise above it.
+        let head = &recording[..self.preamble.len().min(recording.len())];
+        let noise_spl = wearlock_dsp::level::spl(head);
+        let detector = SilenceDetector::new(Spl(noise_spl.value() + 3.0), 256)
+            .expect("static window is valid");
+        let search_from = detector
+            .first_active_window(recording)
+            .unwrap_or(0)
+            .saturating_sub(self.preamble.len());
+
+        let scores = normalized_cross_correlate(&recording[search_from..], &self.preamble)?;
+        let (rel_offset, score) =
+            scores
+                .iter()
+                .enumerate()
+                .fold((0usize, f64::MIN), |(bi, bv), (i, &v)| {
+                    if v > bv {
+                        (i, v)
+                    } else {
+                        (bi, bv)
+                    }
+                });
+        if score < self.detection_threshold {
+            return Err(ModemError::SignalNotFound { best_score: score });
+        }
+        // Approximate delay profile: squared correlation scores in a
+        // window after the peak, thresholded at 25% of the peak so the
+        // chirp's own autocorrelation sidelobes don't masquerade as
+        // multipath.
+        let window = self.config.preamble_len();
+        let end = (rel_offset + window).min(scores.len());
+        let floor = 0.25 * score;
+        let taps: Vec<f64> = scores[rel_offset..end]
+            .iter()
+            .map(|&s| if s >= floor { s * s } else { 0.0 })
+            .collect();
+        let profile = DelayProfile {
+            taps,
+            sample_rate: self.config.sample_rate(),
+        };
+        Ok(FrameSync {
+            preamble_offset: search_from + rel_offset,
+            preamble_score: score,
+            rms_delay_spread: profile.rms_delay_spread(),
+        })
+    }
+
+    /// CP-based fine time synchronization (paper eq. 2): around the
+    /// nominal block start, find the shift maximizing the normalized
+    /// correlation between the cyclic prefix and the symbol tail.
+    fn fine_sync(&self, recording: &[f64], nominal_start: usize) -> isize {
+        let n = self.config.fft_size();
+        let cp = self.config.cp_len();
+        let tau = self.config.fine_sync_range() as isize;
+        let mut best = (0isize, f64::MIN);
+        for tf in -tau..=tau {
+            let start = nominal_start as isize + tf;
+            if start < 0 {
+                continue;
+            }
+            let start = start as usize;
+            if start + cp + n > recording.len() {
+                continue;
+            }
+            let head = &recording[start..start + cp];
+            let tail = &recording[start + n..start + n + cp];
+            let dot: f64 = head.iter().zip(tail).map(|(a, b)| a * b).sum();
+            let e1: f64 = head.iter().map(|x| x * x).sum();
+            let e2: f64 = tail.iter().map(|x| x * x).sum();
+            let denom = (e1 * e2).sqrt();
+            let score = if denom > 0.0 { dot / denom } else { 0.0 };
+            if score > best.1 {
+                best = (tf, score);
+            }
+        }
+        best.0
+    }
+
+    /// Estimates the complex channel gain on every sub-channel covered
+    /// by the pilot span using FFT interpolation of the pilot responses
+    /// (paper §III.6), returning a per-bin table.
+    fn estimate_channel(&self, spectrum: &[Complex]) -> Vec<Option<Complex>> {
+        let pilots = self.config.pilot_channels();
+        let mut table = vec![None; self.config.fft_size()];
+        let z: Vec<Complex> = pilots.iter().map(|&p| spectrum[p]).collect();
+        if pilots.len() == 1 {
+            table[pilots[0]] = Some(z[0]);
+            return table;
+        }
+        let spacing = pilots[1] - pilots[0];
+        let interpolated = match self.estimator {
+            ChannelEstimator::FftComplex
+                if z.len().is_power_of_two() && spacing.is_power_of_two() =>
+            {
+                fft_interpolate(&z, spacing).unwrap_or_else(|_| z.clone())
+            }
+            ChannelEstimator::NearestPilot => {
+                let mut out = Vec::with_capacity(z.len() * spacing);
+                for i in 0..z.len() {
+                    for j in 0..spacing {
+                        let idx = if j <= spacing / 2 {
+                            i
+                        } else {
+                            (i + 1).min(z.len() - 1)
+                        };
+                        out.push(z[idx]);
+                    }
+                }
+                out
+            }
+            _ => {
+                // Magnitude and unwrapped phase interpolated separately
+                // (linear). Magnitude of unit pilots stays accurate even
+                // when the device phase response wiggles faster than the
+                // pilot spacing can track.
+                let mags: Vec<f64> = z.iter().map(|c| c.abs()).collect();
+                let mut phases: Vec<f64> = z.iter().map(|c| c.arg()).collect();
+                for i in 1..phases.len() {
+                    let mut d = phases[i] - phases[i - 1];
+                    while d > std::f64::consts::PI {
+                        d -= std::f64::consts::TAU;
+                    }
+                    while d < -std::f64::consts::PI {
+                        d += std::f64::consts::TAU;
+                    }
+                    phases[i] = phases[i - 1] + d;
+                }
+                let mut out = Vec::with_capacity(z.len() * spacing);
+                for i in 0..z.len() {
+                    let ni = (i + 1).min(z.len() - 1);
+                    for j in 0..spacing {
+                        let t = j as f64 / spacing as f64;
+                        let m = mags[i] * (1.0 - t) + mags[ni] * t;
+                        let p = phases[i] * (1.0 - t) + phases[ni] * t;
+                        out.push(Complex::from_polar(m, p));
+                    }
+                }
+                out
+            }
+        };
+        let base = pilots[0];
+        for (j, h) in interpolated.iter().enumerate() {
+            let k = base + j;
+            if k < table.len() {
+                table[k] = Some(*h);
+            }
+        }
+        // Channels beyond the last pilot extend the final estimate.
+        let last_pilot = *pilots.last().expect("non-empty");
+        let last_h = table[last_pilot];
+        for k in (last_pilot + 1)..table.len().min(self.config.fft_size() / 2) {
+            if table[k].is_none() {
+                table[k] = last_h;
+            }
+        }
+        table
+    }
+
+    /// Decodes one block starting at `start`; returns equalized data
+    /// symbols.
+    fn decode_block(
+        &self,
+        recording: &[f64],
+        start: usize,
+    ) -> Result<(Vec<Complex>, isize), ModemError> {
+        let n = self.config.fft_size();
+        let cp = self.config.cp_len();
+        if start + cp + n > recording.len() {
+            return Err(ModemError::InvalidInput("block out of range".into()));
+        }
+        let tf = self.fine_sync(recording, start);
+        let body_start = (start as isize + tf) as usize + cp;
+        let body = &recording[body_start..body_start + n];
+        let spectrum = self.fft.forward_real(body)?;
+        let channel = self.estimate_channel(&spectrum);
+        let equalized: Vec<Complex> = self
+            .config
+            .data_channels()
+            .iter()
+            .map(|&k| {
+                let h = channel[k].unwrap_or(Complex::ONE);
+                if h.norm_sq() > 1e-12 {
+                    spectrum[k] / h
+                } else {
+                    spectrum[k]
+                }
+            })
+            .collect();
+        Ok((equalized, tf))
+    }
+
+    /// Demodulates a recording known to carry `n_bits` at `modulation`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModemError::SignalNotFound`] if no preamble is
+    /// detected and [`ModemError::TruncatedSignal`] if the recording
+    /// ends before all expected blocks.
+    pub fn demodulate(
+        &self,
+        recording: &[f64],
+        modulation: Modulation,
+        n_bits: usize,
+    ) -> Result<DemodResult, ModemError> {
+        if n_bits == 0 {
+            return Err(ModemError::InvalidInput("n_bits must be positive".into()));
+        }
+        let sync = self.detect(recording)?;
+        self.demodulate_synced(recording, modulation, n_bits, sync)
+    }
+
+    /// Demodulates with an externally supplied synchronization (used by
+    /// ablation benches to compare sync strategies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModemError::TruncatedSignal`] if the recording ends
+    /// before all expected blocks.
+    pub fn demodulate_synced(
+        &self,
+        recording: &[f64],
+        modulation: Modulation,
+        n_bits: usize,
+        sync: FrameSync,
+    ) -> Result<DemodResult, ModemError> {
+        let per_block = self.config.bits_per_block(modulation.bits_per_symbol());
+        let blocks_expected = n_bits.div_ceil(per_block).max(1);
+        let frame_start =
+            sync.preamble_offset + self.config.preamble_len() + self.config.post_preamble_guard();
+
+        let mut bits = Vec::with_capacity(blocks_expected * per_block);
+        let mut blocks = Vec::with_capacity(blocks_expected);
+        for b in 0..blocks_expected {
+            let start = frame_start + b * self.config.symbol_len();
+            let (equalized, fine_offset) =
+                self.decode_block(recording, start)
+                    .map_err(|_| ModemError::TruncatedSignal {
+                        blocks_decoded: b,
+                        blocks_expected,
+                    })?;
+            let mut evm = 0.0;
+            for &sym in &equalized {
+                let decided = modulation.map(&modulation.demap(sym));
+                evm += (sym - decided).norm_sq();
+                bits.extend(modulation.demap(sym));
+            }
+            evm /= equalized.len().max(1) as f64;
+            blocks.push(BlockInfo {
+                fine_offset,
+                equalized,
+                evm,
+            });
+        }
+        bits.truncate(n_bits);
+        Ok(DemodResult { bits, sync, blocks })
+    }
+
+    /// Analyzes an RTS probe recording: synchronizes, measures the
+    /// ambient noise spectrum from the pre-preamble samples, estimates
+    /// per-channel gains from the pilot block, and computes the
+    /// pilot-based SNR of eq. 3.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModemError::SignalNotFound`] if the probe preamble is
+    /// not detected, [`ModemError::TruncatedSignal`] if the pilot block
+    /// is cut off.
+    pub fn analyze_probe(&self, recording: &[f64]) -> Result<ProbeReport, ModemError> {
+        let sync = self.detect(recording)?;
+        let n = self.config.fft_size();
+
+        // Ambient noise spectrum from windows before the preamble.
+        // Per-bin *median* across windows: robust against keyboard
+        // clicks and other transients that would wreck a mean estimate.
+        let ambient = &recording[..sync.preamble_offset];
+        let ambient_spl = wearlock_dsp::level::spl(ambient);
+        let mut noise_spectrum = vec![0.0; n];
+        let windows = (ambient.len() / n).min(48);
+        if windows > 0 {
+            let mut per_bin: Vec<Vec<f64>> = vec![Vec::with_capacity(windows); n];
+            for w in 0..windows {
+                let seg = &ambient[w * n..(w + 1) * n];
+                let spec = self.fft.forward_real(seg)?;
+                for (k, z) in spec.iter().enumerate() {
+                    per_bin[k].push(z.norm_sq());
+                }
+            }
+            for (k, xs) in per_bin.iter_mut().enumerate() {
+                xs.sort_by(f64::total_cmp);
+                noise_spectrum[k] = xs[xs.len() / 2];
+            }
+        }
+
+        // Pilot block.
+        let start = sync.preamble_offset
+            + self.config.preamble_len()
+            + self.config.post_preamble_guard();
+        let cp = self.config.cp_len();
+        if start + cp + n > recording.len() {
+            return Err(ModemError::TruncatedSignal {
+                blocks_decoded: 0,
+                blocks_expected: 1,
+            });
+        }
+        let tf = self.fine_sync(recording, start);
+        let body_start = (start as isize + tf) as usize + cp;
+        let spectrum = self.fft.forward_real(&recording[body_start..body_start + n])?;
+
+        // In the probe, data channels also carry unit pilots, so gains
+        // can be read off every active channel directly.
+        let mut channel_gain = vec![None; n];
+        for &k in self
+            .config
+            .pilot_channels()
+            .iter()
+            .chain(self.config.data_channels())
+        {
+            channel_gain[k] = Some(spectrum[k]);
+        }
+
+        // Pilot-based SNR (paper eq. 3): signal-bearing bin power over
+        // noise power. The noise reference prefers the *ambient*
+        // spectrum measured on the same active bins before the preamble
+        // — the in-band null bins sit at the low edge of the band where
+        // speech-like noise is strongest, so eq. 3's null-bin estimate
+        // is biased pessimistic under tilted noise. With no ambient
+        // lead-in we fall back to the null bins.
+        let active_bins: Vec<usize> = self
+            .config
+            .pilot_channels()
+            .iter()
+            .chain(self.config.data_channels())
+            .copied()
+            .collect();
+        let active_power = mean_power(&spectrum, active_bins.iter());
+        let ambient_noise = if windows > 0 {
+            let m = active_bins
+                .iter()
+                .map(|&k| noise_spectrum[k])
+                .sum::<f64>()
+                / active_bins.len() as f64;
+            if m > 0.0 {
+                Some(m)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        let noise_power = ambient_noise
+            .unwrap_or_else(|| mean_power(&spectrum, self.config.null_channels_in_band().iter()));
+        let psnr_linear = if noise_power > 0.0 {
+            ((active_power - noise_power) / noise_power).max(1e-6)
+        } else {
+            1e6
+        };
+        Ok(ProbeReport {
+            sync,
+            psnr: Db::from_linear_power(psnr_linear),
+            noise_spectrum: noise_spectrum[..n].to_vec(),
+            channel_gain,
+            ambient_spl,
+        })
+    }
+}
+
+fn mean_power<'a>(spectrum: &[Complex], bins: impl Iterator<Item = &'a usize>) -> f64 {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for &k in bins {
+        sum += spectrum[k].norm_sq();
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Fraction of differing bits between two equal-length bit streams.
+///
+/// # Panics
+///
+/// Panics if the lengths differ — compare like with like.
+pub fn bit_error_rate(sent: &[bool], received: &[bool]) -> f64 {
+    assert_eq!(sent.len(), received.len(), "ber needs equal-length streams");
+    if sent.is_empty() {
+        return 0.0;
+    }
+    let errors = sent
+        .iter()
+        .zip(received)
+        .filter(|(a, b)| a != b)
+        .count();
+    errors as f64 / sent.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulator::OfdmModulator;
+
+    fn bits(n: usize) -> Vec<bool> {
+        (0..n).map(|i| (i * 13 + 1) % 7 < 3).collect()
+    }
+
+    fn pair() -> (OfdmModulator, OfdmDemodulator) {
+        let cfg = OfdmConfig::default();
+        (
+            OfdmModulator::new(cfg.clone()).unwrap(),
+            OfdmDemodulator::new(cfg).unwrap(),
+        )
+    }
+
+    #[test]
+    fn clean_roundtrip_all_modulations() {
+        let (tx, rx) = pair();
+        for m in Modulation::ALL {
+            let payload = bits(60);
+            let wave = tx.modulate(&payload, m).unwrap();
+            let out = rx.demodulate(&wave, m, payload.len()).unwrap();
+            assert_eq!(out.bits, payload, "{m}");
+            assert!(out.sync.preamble_score > 0.9, "{m}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_leading_offset_and_noise_padding() {
+        let (tx, rx) = pair();
+        let payload = bits(48);
+        let wave = tx.modulate(&payload, Modulation::Qpsk).unwrap();
+        let mut rec = vec![0.0; 3_000];
+        // tiny noise so silence detection has something to skip
+        for (i, r) in rec.iter_mut().enumerate() {
+            *r = 1e-4 * ((i * 2654435761) as f64 % 17.0 - 8.0) / 8.0;
+        }
+        rec.extend_from_slice(&wave);
+        rec.extend(std::iter::repeat(1e-4).take(500));
+        let out = rx.demodulate(&rec, Modulation::Qpsk, payload.len()).unwrap();
+        assert_eq!(out.bits, payload);
+        assert!((out.sync.preamble_offset as isize - 3_000).unsigned_abs() <= 2);
+    }
+
+    #[test]
+    fn detects_nothing_in_pure_noise() {
+        let (_tx, rx) = pair();
+        let mut state = 1u64;
+        let rec: Vec<f64> = (0..8_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) as f64 / (1u64 << 31) as f64 - 0.5) * 0.2
+            })
+            .collect();
+        let err = rx.detect(&rec).unwrap_err();
+        assert!(matches!(err, ModemError::SignalNotFound { .. }));
+    }
+
+    #[test]
+    fn short_recording_is_invalid_input() {
+        let (_tx, rx) = pair();
+        assert!(matches!(
+            rx.detect(&[0.0; 10]),
+            Err(ModemError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_signal_reports_progress() {
+        let (tx, rx) = pair();
+        let payload = bits(60); // 3 QPSK blocks
+        let wave = tx.modulate(&payload, Modulation::Qpsk).unwrap();
+        let cut = &wave[..wave.len() - 500]; // chop into the last block
+        let err = rx.demodulate(cut, Modulation::Qpsk, payload.len()).unwrap_err();
+        match err {
+            ModemError::TruncatedSignal {
+                blocks_decoded,
+                blocks_expected,
+            } => {
+                assert_eq!(blocks_expected, 3);
+                assert!(blocks_decoded < 3);
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn survives_attenuation_and_integer_delay() {
+        let (tx, rx) = pair();
+        let payload = bits(36);
+        let wave = tx.modulate(&payload, Modulation::Psk8).unwrap();
+        let mut rec = vec![0.0; 777];
+        rec.extend(wave.iter().map(|s| s * 0.01));
+        let out = rx.demodulate(&rec, Modulation::Psk8, payload.len()).unwrap();
+        assert_eq!(out.bits, payload);
+    }
+
+    #[test]
+    fn survives_static_multipath_via_equalization() {
+        let (tx, rx) = pair();
+        let payload = bits(48);
+        let wave = tx.modulate(&payload, Modulation::Qpsk).unwrap();
+        // Two-tap channel: direct + echo at 20 samples, plus gain.
+        let mut rec = vec![0.0; wave.len() + 20];
+        for (i, &s) in wave.iter().enumerate() {
+            rec[i] += 0.8 * s;
+            rec[i + 20] += 0.3 * s;
+        }
+        let out = rx.demodulate(&rec, Modulation::Qpsk, payload.len()).unwrap();
+        assert_eq!(out.bits, payload);
+        // Echo inflates delay spread but stays well under NLOS levels.
+        assert!(out.sync.rms_delay_spread < 0.002);
+    }
+
+    #[test]
+    fn probe_reports_high_psnr_on_clean_channel() {
+        let (tx, rx) = pair();
+        let probe = tx.probe(1).unwrap();
+        let mut rec = vec![1e-5; 2_048];
+        rec.extend_from_slice(&probe);
+        let report = rx.analyze_probe(&rec).unwrap();
+        assert!(report.psnr.value() > 30.0, "psnr {}", report.psnr);
+        for &k in rx.config().data_channels() {
+            assert!(report.channel_gain[k].is_some());
+        }
+    }
+
+    #[test]
+    fn probe_noise_spectrum_sees_jammer_tone() {
+        let (tx, rx) = pair();
+        let cfg = rx.config().clone();
+        let probe = tx.probe(1).unwrap();
+        // Jam sub-channel 20 during the ambient lead-in and probe.
+        let jam_bin = 20usize;
+        let f = cfg.channel_frequency(jam_bin).value();
+        let mut rec: Vec<f64> = (0..4_096)
+            .map(|i| 0.3 * (std::f64::consts::TAU * f * i as f64 / 44_100.0).sin())
+            .collect();
+        let offset = rec.len();
+        rec.extend(std::iter::repeat(0.0).take(probe.len()));
+        for (i, &s) in probe.iter().enumerate() {
+            rec[offset + i] += s;
+        }
+        let report = rx.analyze_probe(&rec).unwrap();
+        let jam_power = report.noise_on(jam_bin);
+        let quiet_power = report.noise_on(40);
+        assert!(
+            jam_power > 100.0 * quiet_power.max(1e-12),
+            "jam {jam_power} quiet {quiet_power}"
+        );
+    }
+
+    #[test]
+    fn ebn0_increases_with_lower_order() {
+        let cfg = OfdmConfig::default();
+        let e_bpsk = ebn0_from_psnr(Db(20.0), &cfg, Modulation::Bpsk);
+        let e_qam = ebn0_from_psnr(Db(20.0), &cfg, Modulation::Qam16);
+        // Lower rate concentrates more energy per bit.
+        assert!(e_bpsk.value() > e_qam.value());
+    }
+
+    #[test]
+    fn ber_utility() {
+        assert_eq!(bit_error_rate(&[], &[]), 0.0);
+        assert_eq!(
+            bit_error_rate(&[true, false, true, false], &[true, true, true, true]),
+            0.5
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn ber_panics_on_length_mismatch() {
+        bit_error_rate(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn fine_sync_recovers_small_shift() {
+        let (tx, rx) = pair();
+        let payload = bits(24);
+        let wave = tx.modulate(&payload, Modulation::Qpsk).unwrap();
+        // Claim sync 5 samples early: fine sync must absorb it.
+        let sync = FrameSync {
+            preamble_offset: 0,
+            preamble_score: 1.0,
+            rms_delay_spread: 0.0,
+        };
+        let mut rec = vec![0.0; 5];
+        rec.extend_from_slice(&wave);
+        let out = rx
+            .demodulate_synced(&rec, Modulation::Qpsk, payload.len(), sync)
+            .unwrap();
+        assert_eq!(out.bits, payload);
+        assert_eq!(out.blocks[0].fine_offset, 5);
+    }
+
+    #[test]
+    fn zero_bits_rejected() {
+        let (tx, rx) = pair();
+        let wave = tx.modulate(&bits(24), Modulation::Qpsk).unwrap();
+        assert!(rx.demodulate(&wave, Modulation::Qpsk, 0).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Error type for the OFDM modem.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the modem.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModemError {
+    /// A configuration parameter was invalid.
+    InvalidConfig(String),
+    /// Payload or buffer input was invalid.
+    InvalidInput(String),
+    /// No signal was found in the recording (silence or no preamble
+    /// above the detection threshold).
+    SignalNotFound {
+        /// Best normalized preamble correlation score observed.
+        best_score: f64,
+    },
+    /// The recording ended before all expected OFDM blocks arrived.
+    TruncatedSignal {
+        /// Blocks successfully decoded before running out of samples.
+        blocks_decoded: usize,
+        /// Blocks that were expected in total.
+        blocks_expected: usize,
+    },
+    /// An underlying DSP operation failed.
+    Dsp(wearlock_dsp::DspError),
+}
+
+impl fmt::Display for ModemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModemError::InvalidConfig(msg) => write!(f, "invalid modem config: {msg}"),
+            ModemError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            ModemError::SignalNotFound { best_score } => {
+                write!(f, "no signal detected (best preamble score {best_score:.4})")
+            }
+            ModemError::TruncatedSignal {
+                blocks_decoded,
+                blocks_expected,
+            } => write!(
+                f,
+                "signal truncated after {blocks_decoded}/{blocks_expected} ofdm blocks"
+            ),
+            ModemError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl Error for ModemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModemError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<wearlock_dsp::DspError> for ModemError {
+    fn from(e: wearlock_dsp::DspError) -> Self {
+        ModemError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ModemError::SignalNotFound { best_score: 0.01 }
+            .to_string()
+            .contains("0.0100"));
+        assert!(ModemError::TruncatedSignal {
+            blocks_decoded: 1,
+            blocks_expected: 3
+        }
+        .to_string()
+        .contains("1/3"));
+    }
+
+    #[test]
+    fn wraps_dsp_error() {
+        let e = ModemError::from(wearlock_dsp::DspError::EmptyInput);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModemError>();
+    }
+}

@@ -1,0 +1,271 @@
+//! OFDM transmitter: constellation mapping → pilot insertion → IFFT →
+//! cyclic prefix → preamble framing (paper Fig. 3, TX path).
+
+use wearlock_dsp::{Complex, Fft};
+
+use crate::config::OfdmConfig;
+use crate::constellation::{map_bits, Modulation};
+use crate::error::ModemError;
+
+/// The OFDM transmitter.
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_modem::config::OfdmConfig;
+/// use wearlock_modem::constellation::Modulation;
+/// use wearlock_modem::modulator::OfdmModulator;
+///
+/// let tx = OfdmModulator::new(OfdmConfig::default())?;
+/// let bits = vec![true, false, true, true, false, false, true, false];
+/// let waveform = tx.modulate(&bits, Modulation::Qpsk)?;
+/// assert!(waveform.len() > 256 + 1024); // preamble + guard + blocks
+/// # Ok::<(), wearlock_modem::ModemError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OfdmModulator {
+    config: OfdmConfig,
+    fft: Fft,
+    preamble: Vec<f64>,
+}
+
+impl OfdmModulator {
+    /// Creates a transmitter for the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModemError::Dsp`] if the FFT cannot be planned (the
+    /// config validation normally prevents this).
+    pub fn new(config: OfdmConfig) -> Result<Self, ModemError> {
+        let fft = Fft::new(config.fft_size())?;
+        let preamble = config.preamble_chirp().generate();
+        Ok(OfdmModulator {
+            config,
+            fft,
+            preamble,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OfdmConfig {
+        &self.config
+    }
+
+    /// The preamble waveform (chirp).
+    pub fn preamble(&self) -> &[f64] {
+        &self.preamble
+    }
+
+    /// Number of OFDM blocks needed for `n_bits` at `modulation`.
+    pub fn blocks_for(&self, n_bits: usize, modulation: Modulation) -> usize {
+        let per_block = self.config.bits_per_block(modulation.bits_per_symbol());
+        n_bits.div_ceil(per_block).max(1)
+    }
+
+    /// Builds one OFDM block (CP + body) from data symbols laid onto the
+    /// data channels; pilots carry unit power, everything else is null.
+    fn build_block(&self, symbols: &[Complex]) -> Result<Vec<f64>, ModemError> {
+        let n = self.config.fft_size();
+        let mut spectrum = vec![Complex::ZERO; n];
+        for &p in self.config.pilot_channels() {
+            spectrum[p] = Complex::ONE;
+        }
+        for (i, &d) in self.config.data_channels().iter().enumerate() {
+            spectrum[d] = symbols.get(i).copied().unwrap_or(Complex::ZERO);
+        }
+        // Hermitian symmetry so the IFFT output is purely real — we take
+        // the real part as the emitted baseband signal (paper eq. 1).
+        for k in 1..n / 2 {
+            spectrum[n - k] = spectrum[k].conj();
+        }
+        let time = self.fft.inverse(&spectrum)?;
+        let mut body: Vec<f64> = time.iter().map(|z| z.re).collect();
+        // Drive the DAC at a consistent level: the IFFT of a few dozen
+        // unit tones is ~20 dB quieter than the unit-amplitude chirp
+        // preamble, and the speaker calibrates the *whole* frame's RMS
+        // to the chosen volume — without this normalization the payload
+        // would be transmitted far below the preamble.
+        let rms = (body.iter().map(|x| x * x).sum::<f64>() / body.len() as f64).sqrt();
+        if rms > 1e-12 {
+            let k = BLOCK_TARGET_RMS / rms;
+            for x in &mut body {
+                *x *= k;
+            }
+        }
+
+        let cp = self.config.cp_len();
+        let mut block = Vec::with_capacity(cp + n);
+        block.extend_from_slice(&body[n - cp..]);
+        block.extend_from_slice(&body);
+        Ok(block)
+    }
+
+    /// Modulates a payload into a complete frame:
+    /// `preamble | guard | block … block`.
+    ///
+    /// The final partial symbol group is zero-padded; the receiver is
+    /// expected to know the payload bit length and truncate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModemError::InvalidInput`] for an empty payload.
+    pub fn modulate(&self, bits: &[bool], modulation: Modulation) -> Result<Vec<f64>, ModemError> {
+        if bits.is_empty() {
+            return Err(ModemError::InvalidInput("payload is empty".into()));
+        }
+        let symbols = map_bits(modulation, bits);
+        let per_block = self.config.data_channels().len();
+
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.preamble);
+        out.extend(std::iter::repeat(0.0).take(self.config.post_preamble_guard()));
+        for chunk in symbols.chunks(per_block) {
+            out.extend(self.build_block(chunk)?);
+        }
+        fade_in(&mut out, 16);
+        Ok(out)
+    }
+
+    /// Builds the channel-probing (RTS) signal: the preamble followed by
+    /// `pilot_blocks` block-based pilot symbols in which *all* active
+    /// channels (pilot and data) carry known unit-power tones and null
+    /// channels stay empty — the paper's probe for sub-channel selection
+    /// and pilot-SNR estimation.
+    pub fn probe(&self, pilot_blocks: usize) -> Result<Vec<f64>, ModemError> {
+        let pilot_blocks = pilot_blocks.max(1);
+        let ones = vec![Complex::ONE; self.config.data_channels().len()];
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.preamble);
+        out.extend(std::iter::repeat(0.0).take(self.config.post_preamble_guard()));
+        for _ in 0..pilot_blocks {
+            out.extend(self.build_block(&ones)?);
+        }
+        fade_in(&mut out, 16);
+        Ok(out)
+    }
+
+    /// Length in samples of a frame carrying `n_bits` at `modulation`.
+    pub fn frame_len(&self, n_bits: usize, modulation: Modulation) -> usize {
+        self.config.preamble_len()
+            + self.config.post_preamble_guard()
+            + self.blocks_for(n_bits, modulation) * self.config.symbol_len()
+    }
+}
+
+/// Target RMS of an OFDM block body relative to the unit-amplitude
+/// preamble (PAPR head-room of ~3x keeps tone peaks below clipping).
+const BLOCK_TARGET_RMS: f64 = 0.35;
+
+/// Raised-cosine fade over the first `n` samples only — the frame must
+/// start softly for the speaker rise effect, but its *end* is left
+/// untouched so the last block's cyclic-prefix structure stays intact.
+fn fade_in(signal: &mut [f64], n: usize) {
+    let n = n.min(signal.len());
+    for i in 0..n {
+        let g = 0.5 - 0.5 * (std::f64::consts::PI * i as f64 / n as f64).cos();
+        signal[i] *= g;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wearlock_dsp::goertzel::goertzel_power;
+    use wearlock_dsp::units::SampleRate;
+
+    fn bits(n: usize) -> Vec<bool> {
+        (0..n).map(|i| (i * 7 + 3) % 5 < 2).collect()
+    }
+
+    #[test]
+    fn rejects_empty_payload() {
+        let tx = OfdmModulator::new(OfdmConfig::default()).unwrap();
+        assert!(matches!(
+            tx.modulate(&[], Modulation::Qpsk),
+            Err(ModemError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn frame_layout_lengths() {
+        let tx = OfdmModulator::new(OfdmConfig::default()).unwrap();
+        // 24 bits QPSK = 12 symbols = exactly one block of 12 channels.
+        let w = tx.modulate(&bits(24), Modulation::Qpsk).unwrap();
+        assert_eq!(w.len(), 256 + 1024 + 384);
+        assert_eq!(tx.frame_len(24, Modulation::Qpsk), w.len());
+        // 25 bits needs a second block.
+        assert_eq!(tx.blocks_for(25, Modulation::Qpsk), 2);
+        assert_eq!(tx.frame_len(25, Modulation::Qpsk), 256 + 1024 + 2 * 384);
+    }
+
+    #[test]
+    fn block_body_is_cyclic_with_prefix() {
+        let tx = OfdmModulator::new(OfdmConfig::default()).unwrap();
+        let w = tx.modulate(&bits(24), Modulation::Qpsk).unwrap();
+        let block = &w[256 + 1024..];
+        let cp = &block[..128];
+        let tail = &block[128 + 256 - 128..128 + 256];
+        for (a, b) in cp.iter().zip(tail) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn energy_sits_on_active_channels() {
+        let cfg = OfdmConfig::default();
+        let tx = OfdmModulator::new(cfg.clone()).unwrap();
+        let w = tx.modulate(&bits(24), Modulation::Qpsk).unwrap();
+        let body = &w[256 + 1024 + 128..256 + 1024 + 128 + 256];
+        let sr = SampleRate::CD;
+        // Data channel 16 at 2756 Hz carries power; null channel 10 at
+        // 1722 Hz does not.
+        let on = goertzel_power(body, cfg.channel_frequency(16), sr).unwrap();
+        let off = goertzel_power(body, cfg.channel_frequency(10), sr).unwrap();
+        assert!(on > 100.0 * off.max(1e-15), "on {on} off {off}");
+    }
+
+    #[test]
+    fn probe_fills_all_active_channels() {
+        let cfg = OfdmConfig::default();
+        let tx = OfdmModulator::new(cfg.clone()).unwrap();
+        let p = tx.probe(1).unwrap();
+        let body = &p[256 + 1024 + 128..256 + 1024 + 128 + 256];
+        let sr = SampleRate::CD;
+        for &k in cfg.data_channels().iter().chain(cfg.pilot_channels()) {
+            let pw = goertzel_power(body, cfg.channel_frequency(k), sr).unwrap();
+            assert!(pw > 1e-9, "channel {k} silent in probe");
+        }
+        for &k in cfg.null_channels_in_band().iter() {
+            let pw = goertzel_power(body, cfg.channel_frequency(k), sr).unwrap();
+            assert!(pw < 1e-10, "null channel {k} carries power {pw}");
+        }
+    }
+
+    #[test]
+    fn probe_has_at_least_one_block() {
+        let tx = OfdmModulator::new(OfdmConfig::default()).unwrap();
+        assert_eq!(tx.probe(0).unwrap().len(), 256 + 1024 + 384);
+        assert_eq!(tx.probe(2).unwrap().len(), 256 + 1024 + 2 * 384);
+    }
+
+    #[test]
+    fn waveform_is_finite_and_bounded() {
+        let tx = OfdmModulator::new(OfdmConfig::default()).unwrap();
+        for m in Modulation::ALL {
+            let w = tx.modulate(&bits(100), m).unwrap();
+            assert!(w.iter().all(|s| s.is_finite()), "{m}");
+        }
+    }
+
+    #[test]
+    fn preamble_prefix_matches_chirp() {
+        let cfg = OfdmConfig::default();
+        let tx = OfdmModulator::new(cfg.clone()).unwrap();
+        let w = tx.modulate(&bits(24), Modulation::Qpsk).unwrap();
+        let chirp = cfg.preamble_chirp().generate();
+        // Apart from the global edge fade (first 16 samples), identical.
+        for i in 16..256 {
+            assert!((w[i] - chirp[i]).abs() < 1e-12);
+        }
+    }
+}

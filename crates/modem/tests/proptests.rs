@@ -1,0 +1,77 @@
+//! Property-based tests for the modem core.
+
+use proptest::prelude::*;
+use wearlock_modem::coding::{conv_encode, viterbi_decode, TokenCoding};
+use wearlock_modem::config::OfdmConfig;
+use wearlock_modem::constellation::{demap_symbols, map_bits, Modulation};
+use wearlock_modem::{OfdmDemodulator, OfdmModulator};
+
+fn any_modulation() -> impl Strategy<Value = Modulation> {
+    prop::sample::select(Modulation::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn constellation_roundtrip(bits in prop::collection::vec(any::<bool>(), 1..128), m in any_modulation()) {
+        let syms = map_bits(m, &bits);
+        let back = demap_symbols(m, &syms);
+        prop_assert_eq!(&back[..bits.len()], &bits[..]);
+        // Padding bits (if any) decode to false.
+        prop_assert!(back[bits.len()..].iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn modulate_demodulate_is_lossless(
+        bits in prop::collection::vec(any::<bool>(), 1..96),
+        m in any_modulation(),
+    ) {
+        let cfg = OfdmConfig::default();
+        let tx = OfdmModulator::new(cfg.clone()).unwrap();
+        let rx = OfdmDemodulator::new(cfg).unwrap();
+        let wave = tx.modulate(&bits, m).unwrap();
+        let out = rx.demodulate(&wave, m, bits.len()).unwrap();
+        prop_assert_eq!(out.bits, bits);
+    }
+
+    #[test]
+    fn conv_code_roundtrip(bits in prop::collection::vec(any::<bool>(), 1..96)) {
+        let coded = conv_encode(&bits);
+        prop_assert_eq!(viterbi_decode(&coded, bits.len()).unwrap(), bits);
+    }
+
+    #[test]
+    fn conv_code_corrects_sparse_errors(
+        bits in prop::collection::vec(any::<bool>(), 16..64),
+        seed in any::<u64>(),
+    ) {
+        let mut coded = conv_encode(&bits);
+        // One flipped coded bit every 16 positions, pseudo-random phase.
+        let start = (seed % 16) as usize;
+        for i in (start..coded.len()).step_by(16) {
+            coded[i] ^= true;
+        }
+        prop_assert_eq!(viterbi_decode(&coded, bits.len()).unwrap(), bits);
+    }
+
+    #[test]
+    fn coding_rate_in_unit_interval(n in 1usize..256, r in 1usize..8) {
+        for coding in [TokenCoding::Repetition(r), TokenCoding::Convolutional] {
+            let rate = coding.rate(n);
+            prop_assert!(rate > 0.0 && rate <= 1.0, "{coding}: {rate}");
+            prop_assert!(coding.coded_len(n) >= n);
+        }
+    }
+
+    #[test]
+    fn with_data_channels_preserves_pilots(
+        picks in prop::collection::btree_set(36usize..80, 1..12),
+    ) {
+        let cfg = OfdmConfig::default();
+        let new: Vec<usize> = picks.into_iter().collect();
+        let cfg2 = cfg.with_data_channels(new.clone()).unwrap();
+        prop_assert_eq!(cfg2.data_channels(), &new[..]);
+        prop_assert_eq!(cfg2.pilot_channels(), cfg.pilot_channels());
+    }
+}

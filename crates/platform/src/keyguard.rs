@@ -1,0 +1,162 @@
+//! Android Keyguard model.
+//!
+//! The WearLock controller drives the platform keyguard: on a verified
+//! token it keeps the screen unlocked; on any filter/verification
+//! failure it leaves the phone locked; after the lockout policy fires,
+//! acoustic unlocking is disabled until a manual PIN entry.
+
+/// Lock state of the phone screen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LockState {
+    /// Screen locked; credentials required.
+    #[default]
+    Locked,
+    /// Screen unlocked.
+    Unlocked,
+    /// Acoustic unlock disabled (too many failures); PIN required.
+    LockedOut,
+}
+
+/// Events the keyguard reacts to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyguardEvent {
+    /// WearLock verified a token.
+    AcousticUnlockVerified,
+    /// A WearLock attempt failed (any stage).
+    AcousticUnlockFailed {
+        /// Whether the failure budget is now exhausted.
+        lockout: bool,
+    },
+    /// User entered a correct PIN.
+    PinEntered,
+    /// Screen timed out or user pressed power to lock.
+    ScreenOff,
+}
+
+/// The keyguard state machine.
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_platform::keyguard::{Keyguard, KeyguardEvent, LockState};
+///
+/// let mut kg = Keyguard::new();
+/// assert_eq!(kg.state(), LockState::Locked);
+/// kg.handle(KeyguardEvent::AcousticUnlockVerified);
+/// assert_eq!(kg.state(), LockState::Unlocked);
+/// kg.handle(KeyguardEvent::ScreenOff);
+/// assert_eq!(kg.state(), LockState::Locked);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Keyguard {
+    state: LockState,
+    unlock_count: u64,
+    failed_count: u64,
+}
+
+impl Keyguard {
+    /// A locked keyguard.
+    pub fn new() -> Self {
+        Keyguard::default()
+    }
+
+    /// Current lock state.
+    pub fn state(&self) -> LockState {
+        self.state
+    }
+
+    /// Total successful unlocks handled.
+    pub fn unlock_count(&self) -> u64 {
+        self.unlock_count
+    }
+
+    /// Total failed acoustic attempts handled.
+    pub fn failed_count(&self) -> u64 {
+        self.failed_count
+    }
+
+    /// Applies an event, returning the new state.
+    pub fn handle(&mut self, event: KeyguardEvent) -> LockState {
+        self.state = match (self.state, event) {
+            // Lockout only exits via PIN.
+            (LockState::LockedOut, KeyguardEvent::PinEntered) => {
+                self.unlock_count += 1;
+                LockState::Unlocked
+            }
+            (LockState::LockedOut, _) => LockState::LockedOut,
+
+            (_, KeyguardEvent::AcousticUnlockVerified) => {
+                self.unlock_count += 1;
+                LockState::Unlocked
+            }
+            (_, KeyguardEvent::PinEntered) => {
+                self.unlock_count += 1;
+                LockState::Unlocked
+            }
+            (s, KeyguardEvent::AcousticUnlockFailed { lockout }) => {
+                self.failed_count += 1;
+                if lockout {
+                    LockState::LockedOut
+                } else {
+                    s
+                }
+            }
+            (_, KeyguardEvent::ScreenOff) => LockState::Locked,
+        };
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlock_and_relock_cycle() {
+        let mut kg = Keyguard::new();
+        assert_eq!(kg.handle(KeyguardEvent::AcousticUnlockVerified), LockState::Unlocked);
+        assert_eq!(kg.handle(KeyguardEvent::ScreenOff), LockState::Locked);
+        assert_eq!(kg.unlock_count(), 1);
+    }
+
+    #[test]
+    fn failure_keeps_locked() {
+        let mut kg = Keyguard::new();
+        assert_eq!(
+            kg.handle(KeyguardEvent::AcousticUnlockFailed { lockout: false }),
+            LockState::Locked
+        );
+        assert_eq!(kg.failed_count(), 1);
+    }
+
+    #[test]
+    fn lockout_requires_pin() {
+        let mut kg = Keyguard::new();
+        kg.handle(KeyguardEvent::AcousticUnlockFailed { lockout: true });
+        assert_eq!(kg.state(), LockState::LockedOut);
+        // Acoustic success is ignored during lockout.
+        assert_eq!(
+            kg.handle(KeyguardEvent::AcousticUnlockVerified),
+            LockState::LockedOut
+        );
+        assert_eq!(kg.handle(KeyguardEvent::PinEntered), LockState::Unlocked);
+    }
+
+    #[test]
+    fn failure_while_unlocked_does_not_lock_screen() {
+        // A background failed attempt must not lock an unlocked phone.
+        let mut kg = Keyguard::new();
+        kg.handle(KeyguardEvent::AcousticUnlockVerified);
+        assert_eq!(
+            kg.handle(KeyguardEvent::AcousticUnlockFailed { lockout: false }),
+            LockState::Unlocked
+        );
+    }
+
+    #[test]
+    fn screen_off_during_lockout_stays_locked_out() {
+        let mut kg = Keyguard::new();
+        kg.handle(KeyguardEvent::AcousticUnlockFailed { lockout: true });
+        assert_eq!(kg.handle(KeyguardEvent::ScreenOff), LockState::LockedOut);
+    }
+}

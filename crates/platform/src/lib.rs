@@ -1,0 +1,43 @@
+//! # wearlock-platform
+//!
+//! Device and platform substrate for the WearLock reproduction
+//! (Yi et al., ICDCS 2017): everything the protocol needs from the
+//! Android side that isn't signal processing.
+//!
+//! * [`device`] — compute/energy models of the paper's hardware
+//!   (Nexus 6, Galaxy Nexus, Moto 360) with workload-based timing,
+//!   calibrated to published numbers (Table II's 45.9 ms DTW on the
+//!   watch; Fig. 10's device ordering),
+//! * [`link`] — Bluetooth/WiFi message and file-transfer delay models
+//!   (Fig. 11),
+//! * [`keyguard`] — the Android Keyguard lock-state machine,
+//! * [`clock`] — a labelled virtual clock for per-phase delay
+//!   accounting (Figs. 10/12),
+//! * [`pin`] — the manual PIN-entry baseline (Fig. 12's comparison).
+//!
+//! ## Example
+//!
+//! ```
+//! use wearlock_platform::device::{DeviceModel, Workload};
+//!
+//! let watch = DeviceModel::moto360();
+//! let phone = DeviceModel::nexus6();
+//! let demod = Workload::OfdmDemod { blocks: 6, fft_size: 256, cp_len: 128 };
+//! // Offloading wins on raw compute time:
+//! assert!(phone.execute(&demod).value() < watch.execute(&demod).value());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod device;
+pub mod keyguard;
+pub mod link;
+pub mod pin;
+
+pub use clock::VirtualClock;
+pub use device::{DeviceClass, DeviceModel, Workload};
+pub use keyguard::{Keyguard, KeyguardEvent, LockState};
+pub use link::{Transport, WirelessLink};
+pub use pin::PinEntryModel;

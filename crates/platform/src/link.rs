@@ -1,0 +1,206 @@
+//! Wireless control-channel model (Bluetooth / WiFi).
+//!
+//! The paper wraps Android Wear's MessageAPI and ChannelAPI; we model
+//! the two transports with latency + throughput distributions matching
+//! the Fig. 11 measurements' structure: WiFi messages are a few tens of
+//! milliseconds, Bluetooth messages slower; file transfers (the
+//! recorded audio clip shipped from watch to phone for offloading) are
+//! throughput-bound and far slower over Bluetooth.
+
+use rand::Rng;
+
+use wearlock_dsp::units::Seconds;
+
+/// Wireless transport between phone and watch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transport {
+    /// Bluetooth (always available when paired; slow).
+    Bluetooth,
+    /// WiFi (when both devices share a network; fast).
+    Wifi,
+}
+
+impl std::fmt::Display for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Transport::Bluetooth => f.write_str("Bluetooth"),
+            Transport::Wifi => f.write_str("WiFi"),
+        }
+    }
+}
+
+/// A modelled wireless link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WirelessLink {
+    transport: Transport,
+    /// Median one-way small-message latency, seconds.
+    message_latency: f64,
+    /// Sustained throughput, bytes/second.
+    throughput: f64,
+    /// Multiplicative jitter spread (lognormal σ).
+    jitter_sigma: f64,
+    /// Radio power draw while transferring, watts.
+    radio_power_w: f64,
+}
+
+impl WirelessLink {
+    /// A Bluetooth link (Android Wear defaults): ~60 ms messages,
+    /// ~110 kB/s file throughput.
+    pub fn bluetooth() -> Self {
+        WirelessLink {
+            transport: Transport::Bluetooth,
+            message_latency: 0.060,
+            throughput: 110e3,
+            jitter_sigma: 0.25,
+            radio_power_w: 0.10,
+        }
+    }
+
+    /// A WiFi link: ~15 ms messages, ~1.8 MB/s throughput.
+    pub fn wifi() -> Self {
+        WirelessLink {
+            transport: Transport::Wifi,
+            message_latency: 0.015,
+            throughput: 1.8e6,
+            jitter_sigma: 0.20,
+            radio_power_w: 0.28,
+        }
+    }
+
+    /// Builds a link for a transport.
+    pub fn new(transport: Transport) -> Self {
+        match transport {
+            Transport::Bluetooth => Self::bluetooth(),
+            Transport::Wifi => Self::wifi(),
+        }
+    }
+
+    /// The transport of this link.
+    pub fn transport(&self) -> Transport {
+        self.transport
+    }
+
+    /// Radio power draw while active, watts.
+    pub fn radio_power_w(&self) -> f64 {
+        self.radio_power_w
+    }
+
+    fn jitter<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Lognormal multiplicative jitter.
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.jitter_sigma * z).exp()
+    }
+
+    /// One-way delay of a small control message.
+    pub fn message_delay<R: Rng + ?Sized>(&self, rng: &mut R) -> Seconds {
+        Seconds(self.message_latency * self.jitter(rng))
+    }
+
+    /// Round-trip time of a message exchange.
+    pub fn round_trip<R: Rng + ?Sized>(&self, rng: &mut R) -> Seconds {
+        Seconds(self.message_delay(rng).value() + self.message_delay(rng).value())
+    }
+
+    /// Delay to transfer a file of `bytes` (latency + throughput).
+    pub fn file_delay<R: Rng + ?Sized>(&self, bytes: usize, rng: &mut R) -> Seconds {
+        let base = self.message_latency + bytes as f64 / self.throughput;
+        Seconds(base * self.jitter(rng))
+    }
+
+    /// Median (jitter-free) file-transfer delay for `bytes`.
+    pub fn file_delay_median(&self, bytes: usize) -> Seconds {
+        Seconds(self.message_latency + bytes as f64 / self.throughput)
+    }
+
+    /// Radio energy in joules to transfer `bytes` (both ends combined
+    /// are modelled on the *sending* side's budget here; callers split
+    /// as needed).
+    pub fn transfer_energy(&self, bytes: usize) -> f64 {
+        self.file_delay_median(bytes).value() * self.radio_power_w
+    }
+}
+
+/// Size in bytes of a mono 16-bit PCM clip of `samples` samples — the
+/// payload the watch ships to the phone when offloading.
+pub fn pcm_bytes(samples: usize) -> usize {
+    samples * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn wifi_messages_beat_bluetooth() {
+        let mut r = rng();
+        let bt: f64 = (0..200)
+            .map(|_| WirelessLink::bluetooth().message_delay(&mut r).value())
+            .sum::<f64>()
+            / 200.0;
+        let wifi: f64 = (0..200)
+            .map(|_| WirelessLink::wifi().message_delay(&mut r).value())
+            .sum::<f64>()
+            / 200.0;
+        assert!(wifi < bt / 2.0, "wifi {wifi} bt {bt}");
+    }
+
+    #[test]
+    fn file_transfer_scales_with_size() {
+        let link = WirelessLink::bluetooth();
+        let small = link.file_delay_median(10_000).value();
+        let big = link.file_delay_median(200_000).value();
+        assert!(big > 10.0 * small, "small {small} big {big}");
+    }
+
+    #[test]
+    fn audio_clip_over_bluetooth_takes_seconds() {
+        // ~1.5 s of audio at 44.1 kHz mono 16-bit = ~130 kB: over
+        // Bluetooth that's a >1 s transfer (the Fig. 11 pain point).
+        let bytes = pcm_bytes(66_000);
+        let d = WirelessLink::bluetooth().file_delay_median(bytes).value();
+        assert!(d > 1.0, "{d}");
+        let dw = WirelessLink::wifi().file_delay_median(bytes).value();
+        assert!(dw < 0.2, "{dw}");
+    }
+
+    #[test]
+    fn jitter_is_positive_and_centred() {
+        let link = WirelessLink::wifi();
+        let mut r = rng();
+        let xs: Vec<f64> = (0..500).map(|_| link.message_delay(&mut r).value()).collect();
+        assert!(xs.iter().all(|&x| x > 0.0));
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean / 0.015 - 1.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn round_trip_is_two_messages() {
+        let link = WirelessLink::bluetooth();
+        let mut r = rng();
+        let rtt: f64 = (0..300).map(|_| link.round_trip(&mut r).value()).sum::<f64>() / 300.0;
+        assert!((rtt / 0.12 - 1.0).abs() < 0.25, "rtt {rtt}");
+    }
+
+    #[test]
+    fn transfer_energy_positive() {
+        assert!(WirelessLink::bluetooth().transfer_energy(100_000) > 0.0);
+        assert_eq!(pcm_bytes(100), 200);
+    }
+
+    #[test]
+    fn constructor_by_transport() {
+        assert_eq!(
+            WirelessLink::new(Transport::Wifi).transport(),
+            Transport::Wifi
+        );
+        assert_eq!(Transport::Bluetooth.to_string(), "Bluetooth");
+    }
+}

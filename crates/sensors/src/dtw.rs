@@ -1,0 +1,229 @@
+//! Dynamic Time Warping.
+//!
+//! WearLock compares the phone's and watch's accelerometer magnitude
+//! series with DTW so that no explicit time alignment is needed (paper
+//! §V, following uWave [27]). The O(n²) cost is acceptable because the
+//! series are 50–150 samples (≈46 ms measured on the watch, Table II).
+
+/// Mean normalization: divides by the series mean, so an accelerometer
+/// magnitude stream becomes a unit-centred shape (`≈1 ± motion`).
+///
+/// This (rather than z-scoring) matches the score structure of the
+/// paper's Table II: a *still* device produces a flat series whose
+/// normalized form is almost exactly 1, scoring near zero against
+/// another still device — z-scoring would blow its sensor noise up to
+/// unit variance and make still devices look dissimilar.
+///
+/// Series with a non-positive mean return all zeros (accelerometer
+/// magnitudes are positive, so this only happens on degenerate input).
+pub fn normalize(series: &[f64]) -> Vec<f64> {
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let mean = series.iter().sum::<f64>() / series.len() as f64;
+    if mean <= 1e-12 {
+        return vec![0.0; series.len()];
+    }
+    series.iter().map(|x| x / mean).collect()
+}
+
+/// Z-score normalization: zero mean, unit variance (constant series
+/// normalize to all zeros). Kept for shape-only comparisons.
+pub fn zscore(series: &[f64]) -> Vec<f64> {
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let mean = series.iter().sum::<f64>() / series.len() as f64;
+    let var = series.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / series.len() as f64;
+    let std = var.sqrt();
+    if std < 1e-12 {
+        return vec![0.0; series.len()];
+    }
+    series.iter().map(|x| (x - mean) / std).collect()
+}
+
+/// Full O(n·m) DTW distance with absolute-difference local cost.
+///
+/// Returns `f64::INFINITY` when either series is empty.
+pub fn dtw_distance(a: &[f64], b: &[f64]) -> f64 {
+    dtw_distance_banded(a, b, usize::MAX)
+}
+
+/// DTW with a Sakoe–Chiba band of half-width `band` (pass `usize::MAX`
+/// for the unconstrained distance).
+pub fn dtw_distance_banded(a: &[f64], b: &[f64], band: usize) -> f64 {
+    dtw_core(a, b, band, |x, y| (x - y).abs())
+}
+
+/// DTW with squared local cost (Euclidean-style), same banding.
+pub fn dtw_distance_banded_sq(a: &[f64], b: &[f64], band: usize) -> f64 {
+    dtw_core(a, b, band, |x, y| (x - y) * (x - y))
+}
+
+fn dtw_core(a: &[f64], b: &[f64], band: usize, local: impl Fn(f64, f64) -> f64) -> f64 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return f64::INFINITY;
+    }
+    // Effective band must at least cover the diagonal skew.
+    let skew = n.abs_diff(m);
+    let band = band.max(skew);
+
+    let mut prev = vec![f64::INFINITY; m + 1];
+    let mut cur = vec![f64::INFINITY; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        cur.fill(f64::INFINITY);
+        let lo = if i > band { i - band } else { 1 };
+        let hi = i.saturating_add(band).min(m);
+        if lo > hi {
+            std::mem::swap(&mut prev, &mut cur);
+            continue;
+        }
+        for j in lo..=hi {
+            let cost = local(a[i - 1], b[j - 1]);
+            let best = prev[j - 1].min(prev[j]).min(cur[j - 1]);
+            cur[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Normalized DTW score: distance divided by the summed lengths, on
+/// z-scored inputs — the unit-free similarity the paper thresholds
+/// (0.1 in their deployment).
+///
+/// Lower means more similar; identical series score 0.
+pub fn dtw_score(a: &[f64], b: &[f64]) -> f64 {
+    let an = normalize(a);
+    let bn = normalize(b);
+    // Sakoe-Chiba band of ~10% of the series length: co-located devices
+    // only ever need small alignment shifts (tens of milliseconds), and
+    // an unconstrained warp could fold one gait frequency onto another
+    // and make *different* activities look similar.
+    let band = (an.len().max(bn.len()) / 20).max(5);
+    // Squared local cost widens the gap between matched and mismatched
+    // motion: a same-body pair differs by small sensor noise (squares
+    // vanish) while different activities mismatch by whole gait swings.
+    let d = dtw_distance_banded_sq(&an, &bn, band);
+    if !d.is_finite() {
+        return f64::INFINITY;
+    }
+    (d / (an.len() + bn.len()) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_score_zero() {
+        let s: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        assert!(dtw_distance(&s, &s) < 1e-12);
+        assert!(dtw_score(&s, &s) < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_is_infinite() {
+        assert!(!dtw_distance(&[], &[1.0]).is_finite());
+        assert!(!dtw_distance(&[1.0], &[]).is_finite());
+        assert!(!dtw_score(&[], &[]).is_finite());
+    }
+
+    #[test]
+    fn shifted_series_score_near_zero() {
+        // DTW's whole point: a time shift costs little.
+        let a: Vec<f64> = (0..120).map(|i| 10.0 + (i as f64 * 0.2).sin()).collect();
+        let b: Vec<f64> = (0..120).map(|i| 10.0 + ((i + 5) as f64 * 0.2).sin()).collect();
+        let aligned = dtw_score(&a, &b);
+        // Compare against the rigid (no-warp) distance in the same
+        // root-mean-square metric.
+        let rigid = (normalize(&a)
+            .iter()
+            .zip(normalize(&b))
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            / 240.0)
+            .sqrt();
+        assert!(aligned < 0.5 * rigid, "aligned {aligned} rigid {rigid}");
+    }
+
+    #[test]
+    fn different_shapes_score_high() {
+        // Big swing vs small independent wobble around the same mean.
+        let a: Vec<f64> = (0..100).map(|i| 10.0 + 4.0 * (i as f64 * 0.25).sin()).collect();
+        let mut state = 9u64;
+        let b: Vec<f64> = (0..100)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                10.0 + ((state >> 33) as f64 / (1u64 << 31) as f64 - 0.5)
+            })
+            .collect();
+        assert!(dtw_score(&a, &b) > 0.1, "{}", dtw_score(&a, &b));
+    }
+
+    #[test]
+    fn symmetric() {
+        let a: Vec<f64> = (0..64).map(|i| (i as f64 * 0.4).cos()).collect();
+        let b: Vec<f64> = (0..80).map(|i| (i as f64 * 0.3).sin()).collect();
+        assert!((dtw_distance(&a, &b) - dtw_distance(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn banded_equals_full_for_wide_band() {
+        let a: Vec<f64> = (0..60).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b: Vec<f64> = (0..70).map(|i| (i as f64 * 0.21).sin()).collect();
+        let full = dtw_distance(&a, &b);
+        let banded = dtw_distance_banded(&a, &b, 70);
+        assert!((full - banded).abs() < 1e-9);
+    }
+
+    #[test]
+    fn narrow_band_upper_bounds_full() {
+        let a: Vec<f64> = (0..60).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b: Vec<f64> = (0..60).map(|i| ((i + 9) as f64 * 0.2).sin()).collect();
+        let full = dtw_distance(&a, &b);
+        let banded = dtw_distance_banded(&a, &b, 3);
+        assert!(banded >= full - 1e-9, "banded {banded} full {full}");
+    }
+
+    #[test]
+    fn normalize_properties() {
+        let s = [2.0, 4.0, 6.0, 8.0];
+        let n = normalize(&s);
+        let mean: f64 = n.iter().sum::<f64>() / n.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-12);
+        assert_eq!(normalize(&[5.0; 8]), vec![1.0; 8]);
+        assert_eq!(normalize(&[0.0; 4]), vec![0.0; 4]);
+        assert!(normalize(&[]).is_empty());
+    }
+
+    #[test]
+    fn zscore_properties() {
+        let s = [2.0, 4.0, 6.0, 8.0];
+        let n = zscore(&s);
+        let mean: f64 = n.iter().sum::<f64>() / n.len() as f64;
+        let var: f64 = n.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+        assert_eq!(zscore(&[5.0; 8]), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn flat_series_score_near_zero() {
+        // Two still devices: tiny independent tremor on a gravity
+        // baseline must score close to zero (Table II sitting ≈ 0.05).
+        let a: Vec<f64> = (0..100).map(|i| 9.81 + 0.05 * ((i * 7) as f64).sin()).collect();
+        let b: Vec<f64> = (0..100).map(|i| 9.81 + 0.05 * ((i * 13) as f64).cos()).collect();
+        assert!(dtw_score(&a, &b) < 0.05, "{}", dtw_score(&a, &b));
+    }
+
+    #[test]
+    fn different_length_series_supported() {
+        let a: Vec<f64> = (0..50).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b: Vec<f64> = (0..150).map(|i| (i as f64 * 0.0667).sin()).collect();
+        let d = dtw_distance(&a, &b);
+        assert!(d.is_finite());
+    }
+}

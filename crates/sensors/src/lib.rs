@@ -1,0 +1,71 @@
+//! # wearlock-sensors
+//!
+//! Motion-sensor substrate for the WearLock reproduction
+//! (Yi et al., ICDCS 2017, §V "Leveraging Motion Sensor-based
+//! Filtering").
+//!
+//! WearLock reduces unnecessary acoustic transmissions by comparing the
+//! phone's and watch's accelerometer streams: matched motion implies
+//! co-location (skip the acoustic phase), mismatched motion implies the
+//! devices are apart (abort). This crate provides:
+//!
+//! * [`activity`] — parametric synthetic accelerometer traces per
+//!   activity (sitting / walking / running), correlated for same-body
+//!   pairs — the substitution for the paper's human wearers,
+//! * [`dtw`] — O(n²) and banded Dynamic Time Warping with z-score
+//!   normalization,
+//! * [`filter`] — Algorithm 1: the `(d_l, d_h)`-thresholded decision
+//!   (skip / continue / abort).
+//!
+//! ## Example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use wearlock_sensors::activity::{synthesize_pair, Activity};
+//! use wearlock_sensors::filter::{FilterDecision, MotionFilter};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let (phone, watch) = synthesize_pair(Activity::Walking, 120, &mut rng);
+//! let decision = MotionFilter::default().evaluate(&phone, &watch);
+//! assert!(decision.score() < 0.35);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod dtw;
+pub mod filter;
+
+pub use activity::{AccelTrace, Activity};
+pub use dtw::{dtw_distance, dtw_score};
+pub use filter::{FilterDecision, MotionFilter};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the sensors crate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum SensorsError {
+    /// The filter thresholds were not ordered `0 <= d_l < d_h`.
+    InvalidThresholds {
+        /// Offending low threshold.
+        d_l: f64,
+        /// Offending high threshold.
+        d_h: f64,
+    },
+}
+
+impl fmt::Display for SensorsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensorsError::InvalidThresholds { d_l, d_h } => {
+                write!(f, "invalid motion filter thresholds: d_l {d_l}, d_h {d_h}")
+            }
+        }
+    }
+}
+
+impl Error for SensorsError {}

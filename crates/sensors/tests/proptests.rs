@@ -1,0 +1,56 @@
+//! Property-based tests for DTW and the motion filter.
+
+use proptest::prelude::*;
+use wearlock_sensors::dtw::{dtw_distance, dtw_distance_banded, dtw_score, normalize, zscore};
+
+fn series(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.1f64..20.0, 4..max_len)
+}
+
+proptest! {
+    #[test]
+    fn dtw_identity_is_zero(a in series(64)) {
+        prop_assert!(dtw_distance(&a, &a) < 1e-9);
+        prop_assert!(dtw_score(&a, &a) < 1e-9);
+    }
+
+    #[test]
+    fn dtw_is_symmetric(a in series(48), b in series(48)) {
+        prop_assert!((dtw_distance(&a, &b) - dtw_distance(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dtw_nonnegative(a in series(48), b in series(48)) {
+        prop_assert!(dtw_distance(&a, &b) >= 0.0);
+        prop_assert!(dtw_score(&a, &b) >= 0.0);
+    }
+
+    #[test]
+    fn banded_upper_bounds_unconstrained(a in series(48), b in series(48), band in 1usize..8) {
+        let full = dtw_distance(&a, &b);
+        let banded = dtw_distance_banded(&a, &b, band);
+        prop_assert!(banded >= full - 1e-9, "banded {banded} full {full}");
+    }
+
+    #[test]
+    fn score_is_scale_invariant(a in series(48), b in series(48), k in 0.1f64..10.0) {
+        let s1 = dtw_score(&a, &b);
+        let ka: Vec<f64> = a.iter().map(|x| x * k).collect();
+        let s2 = dtw_score(&ka, &b);
+        prop_assert!((s1 - s2).abs() < 1e-6, "{s1} vs {s2}");
+    }
+
+    #[test]
+    fn normalize_mean_is_one(a in series(64)) {
+        let n = normalize(&a);
+        let mean = n.iter().sum::<f64>() / n.len() as f64;
+        prop_assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zscore_moments(a in series(64)) {
+        let z = zscore(&a);
+        let mean = z.iter().sum::<f64>() / z.len() as f64;
+        prop_assert!(mean.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,104 @@
+//! Offloading economics (the §V trade-off, Figs. 6/10 interactive).
+//!
+//! Prices the unlock pipeline's DSP on every device and link
+//! combination, shows when shipping the audio to the phone beats
+//! computing on the watch, and what it does to each battery.
+//!
+//! ```text
+//! cargo run -p wearlock-examples --bin offload_planner
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wearlock::config::ExecutionPlan;
+use wearlock::offload::{choose_plan, step_cost};
+use wearlock_platform::device::{DeviceModel, Workload};
+use wearlock_platform::link::WirelessLink;
+
+fn main() {
+    let watch = DeviceModel::moto360();
+    let phones = [DeviceModel::nexus6(), DeviceModel::galaxy_nexus()];
+    let links = [WirelessLink::wifi(), WirelessLink::bluetooth()];
+    let mut rng = StdRng::seed_from_u64(5);
+
+    // One unlock's worth of DSP over a trimmed ~0.25 s recording.
+    let audio_samples = 11_000;
+    let pipeline = Workload::combined(&[
+        Workload::CrossCorrelation {
+            signal_len: audio_samples,
+            template_len: 256,
+        },
+        Workload::Fft { size: 256, count: 10 },
+        Workload::OfdmDemod {
+            blocks: 7,
+            fft_size: 256,
+            cp_len: 128,
+        },
+    ]);
+
+    println!("pipeline: xcorr + probe FFTs + 7-block OFDM demod over {audio_samples} samples\n");
+
+    let local = step_cost(
+        ExecutionPlan::LocalOnWatch,
+        &pipeline,
+        audio_samples,
+        &phones[0],
+        &watch,
+        &links[0],
+        &mut rng,
+    );
+    println!(
+        "local on {:12}  : {:6.1} ms, watch {:6.2} mJ",
+        watch.name(),
+        local.time.value() * 1e3,
+        local.watch_energy_j * 1e3
+    );
+
+    for phone in &phones {
+        for link in &links {
+            let cost = step_cost(
+                ExecutionPlan::OffloadToPhone,
+                &pipeline,
+                audio_samples,
+                phone,
+                &watch,
+                link,
+                &mut rng,
+            );
+            let plan = choose_plan(&pipeline, audio_samples, phone, &watch, link);
+            println!(
+                "offload {:12} via {:9}: {:6.1} ms, watch {:6.2} mJ, phone {:6.2} mJ  (planner: {:?})",
+                phone.name(),
+                link.transport().to_string(),
+                cost.time.value() * 1e3,
+                cost.watch_energy_j * 1e3,
+                cost.phone_energy_j * 1e3,
+                plan
+            );
+        }
+    }
+
+    println!("\nwatch battery: {} Wh — one local unlock costs {:.4}% of it",
+        watch.battery_wh(),
+        watch.battery_fraction(local.watch_energy_j) * 100.0
+    );
+
+    // A day in the life: ~47 unlocks, some resolved by the filters.
+    use wearlock::battery::{daily_comparison, UsageProfile};
+    let profile = UsageProfile::default();
+    let (day_local, day_offload) = daily_comparison(&profile);
+    println!(
+        "\ndaily projection ({} unlocks, {} acoustic rounds after filters):",
+        profile.unlocks_per_day, day_local.acoustic_rounds
+    );
+    println!(
+        "  local on watch : {:6.1} J/day = {:.3}% of the watch battery",
+        day_local.watch_j_per_day,
+        day_local.watch_battery_per_day * 100.0
+    );
+    println!(
+        "  offloaded      : {:6.1} J/day = {:.3}% of the watch battery",
+        day_offload.watch_j_per_day,
+        day_offload.watch_battery_per_day * 100.0
+    );
+}

@@ -1,0 +1,34 @@
+//! Shared helpers for the WearLock cross-crate integration tests.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wearlock::config::WearLockConfig;
+use wearlock::environment::Environment;
+use wearlock::session::UnlockSession;
+
+/// A seeded RNG for reproducible scenarios.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A default session, panicking on configuration errors (test-only).
+pub fn default_session() -> UnlockSession {
+    UnlockSession::new(WearLockConfig::default()).expect("default config is valid")
+}
+
+/// Runs `n` attempts in `env` on a fresh default session, returning the
+/// number of unlocks (lockout reset between attempts).
+pub fn unlock_rate(env: &Environment, n: usize, seed: u64) -> f64 {
+    let mut session = default_session();
+    let mut r = rng(seed);
+    let mut unlocked = 0;
+    for _ in 0..n {
+        if session.attempt(env, &mut r).outcome.unlocked() {
+            unlocked += 1;
+        }
+        session.enter_pin();
+    }
+    unlocked as f64 / n as f64
+}

@@ -1,0 +1,195 @@
+//! End-to-end protocol behaviour across the whole stack: core session +
+//! modem + acoustics + auth + sensors + platform.
+
+use wearlock::environment::{Environment, MotionScenario};
+use wearlock::session::{DenyReason, Outcome, UnlockPath};
+use wearlock_acoustics::channel::PathKind;
+use wearlock_acoustics::noise::Location;
+use wearlock_dsp::units::Meters;
+use wearlock_sensors::Activity;
+use wearlock_tests::{default_session, rng, unlock_rate};
+
+#[test]
+fn benign_unlock_succeeds_reliably() {
+    let rate = unlock_rate(&Environment::default(), 10, 1);
+    assert!(rate >= 0.8, "benign unlock rate {rate}");
+}
+
+#[test]
+fn unlock_rate_collapses_with_distance() {
+    let near = unlock_rate(
+        &Environment::builder().distance(Meters(0.3)).build(),
+        8,
+        2,
+    );
+    let far = unlock_rate(&Environment::builder().distance(Meters(3.5)).build(), 8, 3);
+    assert!(near > 0.7, "near {near}");
+    assert!(far < 0.3, "far {far}");
+}
+
+#[test]
+fn every_location_supports_close_range_unlocks() {
+    for (i, loc) in Location::FIELD_TEST.iter().enumerate() {
+        let env = Environment::builder()
+            .location(*loc)
+            .distance(Meters(0.25))
+            .build();
+        let rate = unlock_rate(&env, 6, 10 + i as u64);
+        // The loudest environment pins the speaker at its volume
+        // ceiling; per-attempt success drops there (users retry, per
+        // the case study).
+        let floor = if *loc == Location::GroceryStore { 0.33 } else { 0.5 };
+        assert!(rate >= floor, "{loc}: rate {rate}");
+    }
+}
+
+#[test]
+fn the_four_deny_paths_trigger() {
+    let mut session = default_session();
+    let mut r = rng(42);
+
+    // 1. No wireless.
+    let rep = session.attempt(
+        &Environment::builder().wireless_in_range(false).build(),
+        &mut r,
+    );
+    assert_eq!(rep.outcome, Outcome::Denied(DenyReason::NoWirelessLink));
+
+    // 2. Motion mismatch.
+    let rep = session.attempt(
+        &Environment::builder()
+            .motion(MotionScenario::Different {
+                phone: Activity::Running,
+                watch: Activity::Walking,
+            })
+            .build(),
+        &mut r,
+    );
+    assert_eq!(rep.outcome, Outcome::Denied(DenyReason::MotionMismatch));
+
+    // 3. Out of acoustic range: probe not detected or SNR too low.
+    let rep = session.attempt(
+        &Environment::builder()
+            .distance(Meters(6.0))
+            .location(Location::GroceryStore)
+            .build(),
+        &mut r,
+    );
+    assert!(
+        matches!(
+            rep.outcome,
+            Outcome::Denied(
+                DenyReason::ProbeNotDetected
+                    | DenyReason::SnrTooLow
+                    | DenyReason::TokenRejected
+                    | DenyReason::AmbientMismatch
+                    // A barely-detectable far signal has a smeared
+                    // correlation profile, which can read as NLOS.
+                    | DenyReason::NlosDetected
+            )
+        ),
+        "far outcome {:?}",
+        rep.outcome
+    );
+
+    // 4. Severe body blocking: NLOS or PHY failure.
+    session.enter_pin();
+    let rep = session.attempt(
+        &Environment::builder()
+            .path(PathKind::BodyBlocked { block_db: 32.0 })
+            .build(),
+        &mut r,
+    );
+    assert!(
+        !rep.outcome.unlocked(),
+        "blocked path unlocked: {:?}",
+        rep.outcome
+    );
+}
+
+#[test]
+fn walking_together_uses_motion_skip_and_saves_audio() {
+    let mut session = default_session();
+    let mut r = rng(7);
+    let env = Environment::builder()
+        .motion(MotionScenario::CoLocated {
+            activity: Activity::Walking,
+        })
+        .build();
+    let mut skip_delays = Vec::new();
+    let mut acoustic_delays = Vec::new();
+    for _ in 0..10 {
+        let rep = session.attempt(&env, &mut r);
+        match rep.outcome {
+            Outcome::Unlocked(UnlockPath::MotionSkip) => {
+                skip_delays.push(rep.total_delay.value())
+            }
+            Outcome::Unlocked(UnlockPath::Acoustic(_)) => {
+                acoustic_delays.push(rep.total_delay.value())
+            }
+            _ => {}
+        }
+        session.enter_pin();
+    }
+    assert!(
+        skip_delays.len() >= 5,
+        "expected mostly skips, got {}",
+        skip_delays.len()
+    );
+    if let (Some(&skip), Some(&full)) = (skip_delays.first(), acoustic_delays.first()) {
+        assert!(skip < full, "skip {skip} should be faster than full {full}");
+    }
+}
+
+#[test]
+fn counter_advances_and_tokens_never_repeat() {
+    let mut session = default_session();
+    let mut r = rng(8);
+    let env = Environment::default();
+    let c0 = session.last_counter();
+    for _ in 0..3 {
+        let _ = session.attempt(&env, &mut r);
+    }
+    // At least the acoustic attempts burned counters.
+    assert!(session.last_counter() > c0);
+}
+
+#[test]
+fn keyguard_tracks_outcomes() {
+    let mut session = default_session();
+    let mut r = rng(9);
+    let rep = session.attempt(&Environment::default(), &mut r);
+    if rep.outcome.unlocked() {
+        assert_eq!(
+            session.keyguard().state(),
+            wearlock_platform::keyguard::LockState::Unlocked
+        );
+        assert_eq!(session.keyguard().unlock_count(), 1);
+    }
+}
+
+#[test]
+fn near_ultrasound_band_works_phone_to_phone() {
+    use wearlock::config::WearLockConfig;
+    use wearlock::session::UnlockSession;
+    use wearlock_modem::config::FrequencyBand;
+
+    let config = WearLockConfig::builder()
+        .band(FrequencyBand::NearUltrasound)
+        .build()
+        .unwrap();
+    let mut session = UnlockSession::new(config).unwrap();
+    let mut r = rng(10);
+    let env = Environment::builder()
+        .location(Location::QuietRoom)
+        .distance(Meters(0.25))
+        .build();
+    let mut unlocked = 0;
+    for _ in 0..5 {
+        if session.attempt(&env, &mut r).outcome.unlocked() {
+            unlocked += 1;
+        }
+        session.enter_pin();
+    }
+    assert!(unlocked >= 3, "near-ultrasound unlocks {unlocked}/5");
+}
