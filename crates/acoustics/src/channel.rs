@@ -124,8 +124,7 @@ impl AcousticLink {
 
         // 2. Propagation: spreading loss + fractional delay.
         let gain = self.propagation.amplitude_gain(self.distance);
-        let delay_samples =
-            self.distance.value() / SPEED_OF_SOUND * self.sample_rate.value();
+        let delay_samples = self.distance.value() / SPEED_OF_SOUND * self.sample_rate.value();
         let mut travelled = fractional_delay(&emitted, delay_samples);
         for s in travelled.iter_mut() {
             *s *= gain;
@@ -133,13 +132,9 @@ impl AcousticLink {
 
         // 3. Multipath.
         let ir = match self.path {
-            PathKind::LineOfSight => ImpulseResponse::line_of_sight(
-                Seconds(0.004),
-                60.0,
-                0.25,
-                self.sample_rate,
-                rng,
-            ),
+            PathKind::LineOfSight => {
+                ImpulseResponse::line_of_sight(Seconds(0.004), 60.0, 0.25, self.sample_rate, rng)
+            }
             PathKind::BodyBlocked { block_db } => ImpulseResponse::body_blocked(
                 // Diffuse tail within the modem's 128-sample cyclic
                 // prefix (2.9 ms at 44.1 kHz).
@@ -263,7 +258,7 @@ impl AcousticLinkBuilder {
     /// Returns [`AcousticsError::InvalidParameter`] if the distance is
     /// not positive.
     pub fn build(self) -> Result<AcousticLink, AcousticsError> {
-        if !(self.distance.value() > 0.0) {
+        if self.distance.value() <= 0.0 || self.distance.value().is_nan() {
             return Err(AcousticsError::InvalidParameter(
                 "link distance must be positive".into(),
             ));
@@ -350,8 +345,14 @@ mod tests {
 
     #[test]
     fn builder_rejects_nonpositive_distance() {
-        assert!(AcousticLink::builder().distance(Meters(0.0)).build().is_err());
-        assert!(AcousticLink::builder().distance(Meters(-1.0)).build().is_err());
+        assert!(AcousticLink::builder()
+            .distance(Meters(0.0))
+            .build()
+            .is_err());
+        assert!(AcousticLink::builder()
+            .distance(Meters(-1.0))
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -157,7 +157,11 @@ impl SpeakerModel {
         }
         let target = Spl(volume.value().min(self.max_spl.value()));
         let r = rms(signal);
-        let gain = if r > 0.0 { target.to_amplitude() / r } else { 0.0 };
+        let gain = if r > 0.0 {
+            target.to_amplitude() / r
+        } else {
+            0.0
+        };
 
         let rise_n = self.rise.to_samples(sample_rate);
         let ring_n = self.ringing.to_samples(sample_rate);
@@ -180,7 +184,9 @@ impl SpeakerModel {
             let slope = last - prev;
             for j in 0..ring_n {
                 let env = (-(j as f64) / (ring_n as f64 / 4.0)).exp();
-                out[signal.len() + j] = env * (last + slope * (j as f64 + 1.0)).clamp(-last.abs().max(1e-12) * 2.0, last.abs().max(1e-12) * 2.0);
+                out[signal.len() + j] = env
+                    * (last + slope * (j as f64 + 1.0))
+                        .clamp(-last.abs().max(1e-12) * 2.0, last.abs().max(1e-12) * 2.0);
             }
         }
         if let Some((lo, hi)) = self.band {

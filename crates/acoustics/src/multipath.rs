@@ -217,39 +217,31 @@ mod tests {
 
     #[test]
     fn los_response_is_direct_dominated() {
-        let ir = ImpulseResponse::line_of_sight(
-            Seconds(0.005),
-            60.0,
-            0.3,
-            SampleRate::CD,
-            &mut rng(),
-        )
-        .unwrap();
-        assert!(ir.direct_energy_ratio() > 0.5, "{}", ir.direct_energy_ratio());
+        let ir =
+            ImpulseResponse::line_of_sight(Seconds(0.005), 60.0, 0.3, SampleRate::CD, &mut rng())
+                .unwrap();
+        assert!(
+            ir.direct_energy_ratio() > 0.5,
+            "{}",
+            ir.direct_energy_ratio()
+        );
     }
 
     #[test]
     fn nlos_response_is_diffuse() {
-        let los = ImpulseResponse::line_of_sight(
-            Seconds(0.005),
-            60.0,
-            0.3,
-            SampleRate::CD,
-            &mut rng(),
-        )
-        .unwrap();
-        let nlos =
-            ImpulseResponse::body_blocked(Seconds(0.005), 30.0, SampleRate::CD, &mut rng())
+        let los =
+            ImpulseResponse::line_of_sight(Seconds(0.005), 60.0, 0.3, SampleRate::CD, &mut rng())
                 .unwrap();
+        let nlos = ImpulseResponse::body_blocked(Seconds(0.005), 30.0, SampleRate::CD, &mut rng())
+            .unwrap();
         assert!(nlos.direct_energy_ratio() < 0.2 * los.direct_energy_ratio());
     }
 
     #[test]
     fn nlos_attenuates_total_energy() {
         let s = vec![1.0; 256];
-        let nlos =
-            ImpulseResponse::body_blocked(Seconds(0.003), 25.0, SampleRate::CD, &mut rng())
-                .unwrap();
+        let nlos = ImpulseResponse::body_blocked(Seconds(0.003), 25.0, SampleRate::CD, &mut rng())
+            .unwrap();
         let out = nlos.apply(&s);
         let e_in: f64 = s.iter().map(|x| x * x).sum();
         let e_out: f64 = out.iter().map(|x| x * x).sum();
@@ -259,12 +251,8 @@ mod tests {
     #[test]
     fn parameter_validation() {
         let sr = SampleRate::CD;
-        assert!(
-            ImpulseResponse::line_of_sight(Seconds(0.01), 0.0, 0.5, sr, &mut rng()).is_err()
-        );
-        assert!(
-            ImpulseResponse::line_of_sight(Seconds(0.01), 60.0, 1.5, sr, &mut rng()).is_err()
-        );
+        assert!(ImpulseResponse::line_of_sight(Seconds(0.01), 0.0, 0.5, sr, &mut rng()).is_err());
+        assert!(ImpulseResponse::line_of_sight(Seconds(0.01), 60.0, 1.5, sr, &mut rng()).is_err());
         assert!(ImpulseResponse::body_blocked(Seconds(0.01), -1.0, sr, &mut rng()).is_err());
     }
 }

@@ -245,32 +245,56 @@ impl Location {
         match self {
             Location::QuietRoom => NoiseModel::White { spl },
             Location::Office => NoiseModel::Mixture(vec![
-                NoiseModel::Speech { spl: spl - Spl(4.0) },
-                NoiseModel::Machine { spl: spl - Spl(6.0) },
+                NoiseModel::Speech {
+                    spl: spl - Spl(4.0),
+                },
+                NoiseModel::Machine {
+                    spl: spl - Spl(6.0),
+                },
                 NoiseModel::Transients {
                     spl: spl - Spl(8.0),
                     rate_hz: 6.0,
                 },
-                NoiseModel::White { spl: spl - Spl(12.0) },
+                NoiseModel::White {
+                    spl: spl - Spl(12.0),
+                },
             ]),
             Location::ClassRoom => NoiseModel::Mixture(vec![
-                NoiseModel::Speech { spl: spl - Spl(1.0) },
-                NoiseModel::Machine { spl: spl - Spl(10.0) },
-                NoiseModel::White { spl: spl - Spl(12.0) },
+                NoiseModel::Speech {
+                    spl: spl - Spl(1.0),
+                },
+                NoiseModel::Machine {
+                    spl: spl - Spl(10.0),
+                },
+                NoiseModel::White {
+                    spl: spl - Spl(12.0),
+                },
             ]),
             Location::Cafe => NoiseModel::Mixture(vec![
-                NoiseModel::Speech { spl: spl - Spl(3.0) },
-                NoiseModel::Machine { spl: spl - Spl(4.0) },
+                NoiseModel::Speech {
+                    spl: spl - Spl(3.0),
+                },
+                NoiseModel::Machine {
+                    spl: spl - Spl(4.0),
+                },
                 NoiseModel::Transients {
                     spl: spl - Spl(9.0),
                     rate_hz: 3.0,
                 },
-                NoiseModel::White { spl: spl - Spl(12.0) },
+                NoiseModel::White {
+                    spl: spl - Spl(12.0),
+                },
             ]),
             Location::GroceryStore => NoiseModel::Mixture(vec![
-                NoiseModel::White { spl: spl - Spl(3.0) },
-                NoiseModel::Speech { spl: spl - Spl(5.0) },
-                NoiseModel::Machine { spl: spl - Spl(5.0) },
+                NoiseModel::White {
+                    spl: spl - Spl(3.0),
+                },
+                NoiseModel::Speech {
+                    spl: spl - Spl(5.0),
+                },
+                NoiseModel::Machine {
+                    spl: spl - Spl(5.0),
+                },
             ]),
         }
     }

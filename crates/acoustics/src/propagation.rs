@@ -53,12 +53,12 @@ impl Propagation {
     /// Returns [`AcousticsError::InvalidParameter`] if `g <= 0` or
     /// `d0 <= 0`.
     pub fn new(g: f64, d0: Meters) -> Result<Self, AcousticsError> {
-        if !(g > 0.0) {
+        if g <= 0.0 || g.is_nan() {
             return Err(AcousticsError::InvalidParameter(
                 "geometric constant g must be positive".into(),
             ));
         }
-        if !(d0.value() > 0.0) {
+        if d0.value() <= 0.0 || d0.value().is_nan() {
             return Err(AcousticsError::InvalidParameter(
                 "reference distance d0 must be positive".into(),
             ));

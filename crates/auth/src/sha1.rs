@@ -86,20 +86,31 @@ mod tests {
     #[test]
     fn rfc3174_test_vectors() {
         // TEST1..TEST4 from RFC 3174 §7.3.
-        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
         assert_eq!(
-            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
-        let test3: Vec<u8> = std::iter::repeat(b'a').take(1_000_000).collect();
-        assert_eq!(hex(&sha1(&test3)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        let test3 = vec![b'a'; 1_000_000];
+        assert_eq!(
+            hex(&sha1(&test3)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
         let test4: Vec<u8> = b"0123456701234567012345670123456701234567012345670123456701234567"
             .iter()
             .copied()
             .cycle()
             .take(64 * 10)
             .collect();
-        assert_eq!(hex(&sha1(&test4)), "dea356a2cddd90c7a7ecedc5ebb563934f460452");
+        assert_eq!(
+            hex(&sha1(&test4)),
+            "dea356a2cddd90c7a7ecedc5ebb563934f460452"
+        );
     }
 
     #[test]

@@ -291,10 +291,7 @@ mod tests {
         assert_eq!(repetition_decode(&[true; 10], 32, 5), None);
         // Exactly one copy works (degenerate majority).
         let bits = token_to_bits(0x0f0f_0f0f);
-        assert_eq!(
-            repetition_decode(&bits, TOKEN_BITS, 5).unwrap(),
-            bits
-        );
+        assert_eq!(repetition_decode(&bits, TOKEN_BITS, 5).unwrap(), bits);
     }
 
     #[test]

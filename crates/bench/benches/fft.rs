@@ -52,5 +52,38 @@ fn bench_xcorr(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fft, bench_xcorr, bench_xcorr_fft_vs_direct);
+/// Direct vs FFT *normalized* correlation — the preamble-search kernel
+/// the demodulator actually runs — at recording lengths from 2^12 to
+/// 2^17 samples (93 ms to 3 s at 44.1 kHz) against the 256-sample
+/// chirp. This is the crossover picture that justified switching
+/// `detect` to the FFT path.
+fn bench_normalized_xcorr_scaling(c: &mut Criterion) {
+    use wearlock_dsp::correlate::normalized_cross_correlate_fft;
+    let chirp = Chirp::new(Hz(1_000.0), Hz(6_000.0), 256, SampleRate::CD).unwrap();
+    let template = chirp.generate();
+    for exp in 12..=17u32 {
+        let n = 1usize << exp;
+        let mut signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.071).sin() * 0.1).collect();
+        let at = n / 2;
+        for (i, &t) in template.iter().enumerate() {
+            signal[at + i] += t;
+        }
+        c.bench_function(&format!("norm_xcorr_direct_2^{exp}"), |b| {
+            b.iter(|| normalized_cross_correlate(std::hint::black_box(&signal), &template).unwrap())
+        });
+        c.bench_function(&format!("norm_xcorr_fft_2^{exp}"), |b| {
+            b.iter(|| {
+                normalized_cross_correlate_fft(std::hint::black_box(&signal), &template).unwrap()
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_xcorr,
+    bench_xcorr_fft_vs_direct,
+    bench_normalized_xcorr_scaling
+);
 criterion_main!(benches);

@@ -18,7 +18,10 @@ fn bench_modem(c: &mut Criterion) {
         });
         let wave = tx.modulate(&bits, m).unwrap();
         c.bench_function(&format!("demodulate_160bit_{m}"), |b| {
-            b.iter(|| rx.demodulate(std::hint::black_box(&wave), m, bits.len()).unwrap())
+            b.iter(|| {
+                rx.demodulate(std::hint::black_box(&wave), m, bits.len())
+                    .unwrap()
+            })
         });
     }
 }

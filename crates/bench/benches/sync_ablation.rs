@@ -50,7 +50,9 @@ fn bench_sync_ablation(c: &mut Criterion) {
         ("fft_complex", ChannelEstimator::FftComplex),
         ("nearest_pilot", ChannelEstimator::NearestPilot),
     ] {
-        let rx = OfdmDemodulator::new(cfg.clone()).unwrap().with_estimator(est);
+        let rx = OfdmDemodulator::new(cfg.clone())
+            .unwrap()
+            .with_estimator(est);
         c.bench_function(&format!("rx_estimator_{name}"), |b| {
             b.iter(|| rx.demodulate(std::hint::black_box(&rec), Modulation::Qpsk, bits.len()))
         });

@@ -4,348 +4,137 @@
 //! ```text
 //! cargo run -p wearlock-bench --release --bin repro -- all
 //! cargo run -p wearlock-bench --release --bin repro -- fig5 table1 ...
+//! cargo run -p wearlock-bench --release --bin repro -- --threads 8 all
 //! ```
 //!
-//! Each experiment prints the rows/series the paper reports; shape
-//! targets (who wins, rough factors, crossovers) are documented in
-//! EXPERIMENTS.md.
+//! Sweeps fan out over a [`wearlock_runtime::SweepRunner`]; per-task
+//! seed derivation makes the output bitwise identical for every
+//! `--threads` value (default: one worker per CPU). Each experiment
+//! prints the rows/series the paper reports; shape targets (who wins,
+//! rough factors, crossovers) are documented in EXPERIMENTS.md.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use wearlock_bench::report;
+use wearlock_runtime::SweepRunner;
 
 const SEED: u64 = 20170605; // deterministic everywhere
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = 0usize; // 0 = one worker per CPU
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        if i + 1 >= args.len() {
+            eprintln!("--threads requires a value");
+            std::process::exit(2);
+        }
+        threads = args[i + 1].parse().unwrap_or_else(|_| {
+            eprintln!("--threads takes a non-negative integer (0 = all CPUs)");
+            std::process::exit(2);
+        });
+        args.drain(i..=i + 1);
+    }
+    let runner = SweepRunner::new(threads);
+
+    const KNOWN: &[&str] = &[
+        "all",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "table1",
+        "table2",
+        "casestudy",
+    ];
+    if let Some(bad) = args.iter().find(|a| !KNOWN.contains(&a.as_str())) {
+        eprintln!("unknown experiment '{bad}'; known: {}", KNOWN.join(" "));
+        std::process::exit(2);
+    }
+
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |name: &str| all || args.iter().any(|a| a == name);
+    let print = |title: &str, rows: Vec<String>| {
+        println!("\n================================================================");
+        println!("{title}");
+        println!("================================================================");
+        for row in rows {
+            println!("{row}");
+        }
+    };
 
     if want("fig4") {
-        fig4();
+        print(
+            "Fig. 4 - Receiver SPL vs distance per volume setting (quiet room, LOS)",
+            report::fig4(&runner, SEED),
+        );
     }
     if want("fig5") {
-        fig5();
+        print(
+            "Fig. 5 - BER of each modulation vs Eb/N0 (speaker chain + white noise)",
+            report::fig5(&runner, SEED, 4_000),
+        );
     }
     if want("fig6") {
-        fig6();
+        print(
+            "Fig. 6 - Offloading vs local processing on the wearable (50 rounds)",
+            report::fig6(&runner, SEED, 50),
+        );
     }
     if want("fig7") {
-        fig7();
+        print(
+            "Fig. 7 - BER vs distance per transmission mode (near-ultrasound, office)",
+            report::fig7(&runner, SEED, 6),
+        );
     }
     if want("fig8") {
-        fig8();
+        print(
+            "Fig. 8 - Adaptive modulation under MaxBER constraints (near-ultrasound)",
+            report::fig8(&runner, SEED, 6),
+        );
     }
     if want("fig9") {
-        fig9();
+        print(
+            "Fig. 9 - BER under jamming, with/without sub-channel selection (QPSK)",
+            report::fig9(&runner, SEED, 8),
+        );
     }
     if want("fig10") {
-        fig10();
+        print(
+            "Fig. 10 - Computation delay of each phase on each device",
+            report::fig10(),
+        );
     }
     if want("fig11") {
-        fig11();
+        print(
+            "Fig. 11 - Communication delay (message / audio clip, BT / WiFi)",
+            report::fig11(&runner, SEED, 20),
+        );
     }
     if want("fig12") {
-        fig12();
+        print(
+            "Fig. 12 - Total unlock delay per configuration vs manual PIN entry",
+            report::fig12(SEED),
+        );
     }
     if want("table1") {
-        table1();
+        print(
+            "Table I - Field test: BER per location / hand config / band",
+            report::table1(SEED, 6),
+        );
     }
     if want("table2") {
-        table2();
+        print(
+            "Table II - Sensor-based filtering: DTW scores and cost",
+            report::table2(&runner, SEED, 30),
+        );
     }
     if want("casestudy") {
-        casestudy();
-    }
-}
-
-fn header(title: &str) {
-    println!("\n================================================================");
-    println!("{title}");
-    println!("================================================================");
-}
-
-fn fig4() {
-    header("Fig. 4 - Receiver SPL vs distance per volume setting (quiet room, LOS)");
-    let volumes = [50.0, 57.0, 64.0, 70.0];
-    let distances = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0];
-    let pts = wearlock_bench::fig4::sweep(&volumes, &distances, SEED);
-    print!("{:>10}", "d (m)");
-    for v in volumes {
-        print!("  tx {v:.0} dB");
-    }
-    println!();
-    for &d in &distances {
-        print!("{d:>10.3}");
-        for &v in &volumes {
-            let p = pts
-                .iter()
-                .find(|p| p.volume.value() == v && p.distance.value() == d)
-                .expect("point measured");
-            print!("  {:8.1}", p.received.value());
-        }
-        println!();
-    }
-    println!(
-        "\nattenuation per distance doubling: {:.2} dB (paper/theory: ~6 dB)",
-        wearlock_bench::fig4::attenuation_per_doubling(&pts)
-    );
-}
-
-fn fig5() {
-    header("Fig. 5 - BER of each modulation vs Eb/N0 (speaker chain + white noise)");
-    let grid: Vec<f64> = (0..=14).map(|i| i as f64 * 5.0).collect();
-    let pts = wearlock_bench::fig5::sweep(&grid, 4_000, SEED);
-    print!("{:>8}", "Eb/N0");
-    for m in wearlock_modem::Modulation::ALL {
-        print!("  {m:>7}");
-    }
-    println!();
-    for &e in &grid {
-        print!("{e:>8.1}");
-        for m in wearlock_modem::Modulation::ALL {
-            let p = pts
-                .iter()
-                .find(|p| p.modulation == m && p.ebn0.value() == e)
-                .expect("point measured");
-            print!("  {:7.4}", p.ber);
-        }
-        println!();
-    }
-    println!("\nshape: BASK/BPSK waterfall clean; ASK has no phase-error floor;");
-    println!("8PSK/16QAM floor above 1e-2 (unusable at MaxBER 0.01), as in the paper.");
-}
-
-fn fig6() {
-    header("Fig. 6 - Offloading vs local processing on the wearable (50 rounds)");
-    let (local, offload) = wearlock_bench::fig6::run(50, SEED);
-    println!(
-        "local on watch   : {:7.1} ms/round, {:7.2} J total, {:.4}% of battery",
-        local.mean_time_s * 1e3,
-        local.watch_energy_j,
-        local.watch_battery_fraction * 100.0
-    );
-    println!(
-        "offload to phone : {:7.1} ms/round, {:7.2} J total, {:.4}% of battery",
-        offload.mean_time_s * 1e3,
-        offload.watch_energy_j,
-        offload.watch_battery_fraction * 100.0
-    );
-    println!(
-        "\noffloading speedup {:.1}x, watch energy saving {:.1}x (paper: offloading wins both)",
-        local.mean_time_s / offload.mean_time_s,
-        local.watch_energy_j / offload.watch_energy_j
-    );
-}
-
-fn fig7() {
-    header("Fig. 7 - BER vs distance per transmission mode (near-ultrasound, office)");
-    let distances = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0];
-    let pts = wearlock_bench::fig789::fig7(&distances, 6, SEED);
-    print!("{:>8}", "d (m)");
-    for m in wearlock_modem::TransmissionMode::ALL {
-        print!("  {m:>7}");
-    }
-    println!();
-    for &d in &distances {
-        print!("{d:>8.2}");
-        for m in wearlock_modem::TransmissionMode::ALL {
-            let p = pts
-                .iter()
-                .find(|p| p.mode == m && p.distance == d)
-                .expect("point measured");
-            print!("  {:7.4}", p.ber);
-        }
-        println!();
-    }
-    println!("\nshape: BER rises steeply past ~1 m; higher-order modes degrade first.");
-}
-
-fn fig8() {
-    header("Fig. 8 - Adaptive modulation under MaxBER constraints (near-ultrasound)");
-    let distances = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0];
-    let pts = wearlock_bench::fig789::fig8(&[0.01, 0.1], &distances, 6, SEED);
-    println!(
-        "{:>8} {:>8} {:>9} {:>8} {:>10}",
-        "MaxBER", "d (m)", "BER", "mode", "abort rate"
-    );
-    for p in &pts {
-        println!(
-            "{:>8} {:>8.2} {:>9} {:>8} {:>9.0}%",
-            p.max_ber,
-            p.distance,
-            if p.ber.is_nan() {
-                "-".to_string()
-            } else {
-                format!("{:.4}", p.ber)
-            },
-            p.mode.map(|m| m.to_string()).unwrap_or_else(|| "-".into()),
-            p.abort_rate * 100.0
+        print(
+            "Case study - five participants, classroom, 10 trials each",
+            report::casestudy(SEED, 10),
         );
-    }
-    println!("\nshape: the constraint holds while a mode is available; tighter MaxBER");
-    println!("forces lower-order modes and earlier aborts as distance grows.");
-}
-
-fn fig9() {
-    header("Fig. 9 - BER under jamming, with/without sub-channel selection (QPSK)");
-    let pts = wearlock_bench::fig789::fig9(6, 8, SEED);
-    println!("{:>13} {:>12} {:>14}", "jammed tones", "fixed BER", "selected BER");
-    for p in &pts {
-        println!(
-            "{:>13} {:>12.4} {:>14.4}",
-            p.jammed, p.ber_fixed, p.ber_selected
-        );
-    }
-    println!("\nshape: fixed assignment degrades with each jammed tone; selection");
-    println!("hops to clean sub-channels and holds a stable BER.");
-}
-
-fn fig10() {
-    header("Fig. 10 - Computation delay of each phase on each device");
-    println!(
-        "{:>14} {:>16} {:>18} {:>14}",
-        "device", "phase1 probing", "phase2 preprocess", "phase2 demod"
-    );
-    for d in wearlock_bench::fig1011::fig10() {
-        println!(
-            "{:>14} {:>13.1} ms {:>15.1} ms {:>11.1} ms",
-            d.device,
-            d.phase1_probing_s * 1e3,
-            d.phase2_preprocess_s * 1e3,
-            d.phase2_demod_s * 1e3
-        );
-    }
-    println!("\nshape: watch >> low-end phone > high-end phone, per phase.");
-}
-
-fn fig11() {
-    header("Fig. 11 - Communication delay (message / audio clip, BT / WiFi)");
-    println!(
-        "{:>10} {:>12} {:>10} {:>10} {:>10}",
-        "transport", "payload", "mean", "min", "max"
-    );
-    for l in wearlock_bench::fig1011::fig11(20, SEED) {
-        println!(
-            "{:>10} {:>12} {:>7.1} ms {:>7.1} ms {:>7.1} ms",
-            l.transport.to_string(),
-            l.payload,
-            l.mean_s * 1e3,
-            l.min_s * 1e3,
-            l.max_s * 1e3
-        );
-    }
-}
-
-fn fig12() {
-    header("Fig. 12 - Total unlock delay per configuration vs manual PIN entry");
-    let mut rng = StdRng::seed_from_u64(SEED);
-    let env = wearlock::environment::Environment::default();
-    match wearlock::delay::compare_with_pin(&env, 5, &mut rng) {
-        Ok(report) => {
-            for (i, c) in report.configs.iter().enumerate() {
-                println!(
-                    "{}: total {:6.0} ms (probe {:3.0} + pre {:3.0} + demod {:3.0} + comm {:4.0} + audio {:4.0} ms)  speedup vs 4-PIN: {:4.1}%",
-                    c.config,
-                    c.total.value() * 1e3,
-                    c.phase1_processing.value() * 1e3,
-                    c.phase2_preprocessing.value() * 1e3,
-                    c.phase2_demodulation.value() * 1e3,
-                    c.communication.value() * 1e3,
-                    c.audio.value() * 1e3,
-                    report.speedup_vs_pin4(i) * 100.0
-                );
-            }
-            println!(
-                "manual PIN: 4-digit {:.0} ms, 6-digit {:.0} ms (medians aligned to [2])",
-                report.pin4.value() * 1e3,
-                report.pin6.value() * 1e3
-            );
-            println!("\npaper: >=58.6% speedup for Config1, >=17.7% for Config2.");
-        }
-        Err(e) => println!("fig12 failed: {e}"),
-    }
-}
-
-fn table1() {
-    header("Table I - Field test: BER per location / hand config / band");
-    let mut rng = StdRng::seed_from_u64(SEED);
-    match wearlock::fieldtest::run_field_test(6, &mut rng) {
-        Ok(ft) => {
-            use wearlock_acoustics::noise::Location;
-            use wearlock_modem::config::FrequencyBand;
-            print!("{:>34}", "BER vs Locations");
-            for loc in Location::FIELD_TEST {
-                print!(" {:>16}", loc.to_string());
-            }
-            println!();
-            for band in [FrequencyBand::Audible, FrequencyBand::NearUltrasound] {
-                for hands in wearlock::fieldtest::HandConfig::ALL {
-                    print!("{:>34}", format!("{hands} ({band})"));
-                    for loc in Location::FIELD_TEST {
-                        let cell = ft.cell(loc, hands, band).expect("full grid");
-                        let mode = cell
-                            .mode
-                            .map(|m| m.to_string())
-                            .unwrap_or_else(|| "-".into());
-                        print!(
-                            " {:>16}",
-                            if cell.ber.is_finite() {
-                                format!("{:.4}({mode})", cell.ber)
-                            } else {
-                                "-".to_string()
-                            }
-                        );
-                    }
-                    println!();
-                }
-            }
-            println!("\naverage BER {:.4} (paper: ~0.08)", ft.average_ber());
-        }
-        Err(e) => println!("table1 failed: {e}"),
-    }
-}
-
-fn table2() {
-    header("Table II - Sensor-based filtering: DTW scores and cost");
-    let t2 = wearlock_bench::table2::run(30, SEED);
-    print!("{:>12}", "Activities");
-    for r in &t2.rows {
-        print!(" {:>10}", r.scenario);
-    }
-    println!(" {:>10}", "Cost(ms)");
-    print!("{:>12}", "DTW Scores");
-    for r in &t2.rows {
-        print!(" {:>10.3}", r.dtw_score);
-    }
-    // Watch-scaled DTW cost: the platform model's Moto 360 figure.
-    let watch_ms = wearlock_platform::DeviceModel::moto360()
-        .execute(&wearlock_platform::Workload::Dtw { n: 150, m: 150 })
-        .value()
-        * 1e3;
-    println!(" {watch_ms:>10.1}");
-    println!(
-        "\n(host DTW cost {:.3} ms; scaled to the Moto 360 by the device model; paper: 45.9 ms)",
-        t2.host_cost_ms
-    );
-    println!("paper scores: Sitting 0.05, Walking 0.02, Running 0.06, Different 0.20");
-}
-
-fn casestudy() {
-    header("Case study - five participants, classroom, 10 trials each");
-    let mut rng = StdRng::seed_from_u64(SEED);
-    match wearlock::casestudy::run_case_study(10, &mut rng) {
-        Ok(cs) => {
-            for p in &cs.participants {
-                println!(
-                    "{:40} success {:2}/{:2}  (token unlocks {:2}, NLOS flags {}, NLOS denials {})",
-                    p.name, p.successes, p.trials, p.token_unlocks, p.nlos_flags, p.nlos_denials
-                );
-            }
-            println!(
-                "\naverage success rate {:.0}% (paper: ~90%)",
-                cs.average_success_rate() * 100.0
-            );
-        }
-        Err(e) => println!("casestudy failed: {e}"),
     }
 }

@@ -2,10 +2,10 @@
 //! communication delay per transport and payload type.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 use wearlock_platform::device::{DeviceModel, Workload};
 use wearlock_platform::link::{Transport, WirelessLink};
+use wearlock_runtime::SweepRunner;
 
 /// Per-phase compute times for one device (Fig. 10).
 #[derive(Debug, Clone, PartialEq)]
@@ -83,32 +83,31 @@ pub struct LinkDelay {
 
 /// Figure 11: message and audio-clip transfer delays over both
 /// transports, `reps` repetitions each (paper: at least 20).
-pub fn fig11(reps: usize, seed: u64) -> Vec<LinkDelay> {
-    let mut rng = StdRng::seed_from_u64(seed);
+///
+/// Each (transport, payload) series is an independent task with its
+/// own derived RNG, so the result is identical for any worker count.
+pub fn fig11(reps: usize, seed: u64, runner: &SweepRunner) -> Vec<LinkDelay> {
     let clip_bytes = 22_000; // ~0.25 s of trimmed 16-bit PCM
-    let mut out = Vec::new();
-    for transport in [Transport::Bluetooth, Transport::Wifi] {
+    let grid: Vec<(Transport, &'static str)> = [Transport::Bluetooth, Transport::Wifi]
+        .into_iter()
+        .flat_map(|t| [(t, "message"), (t, "audio clip")])
+        .collect();
+    runner.map(&grid, seed, |&(transport, payload), rng| {
         let link = WirelessLink::new(transport);
-        for (payload, f) in [
-            (
-                "message",
-                Box::new(|r: &mut StdRng| link.message_delay(r).value())
-                    as Box<dyn Fn(&mut StdRng) -> f64>,
-            ),
-            (
-                "audio clip",
-                Box::new(move |r: &mut StdRng| link.file_delay(clip_bytes, r).value()),
-            ),
-        ] {
-            let xs: Vec<f64> = (0..reps.max(1)).map(|_| f(&mut rng)).collect();
-            out.push(LinkDelay {
-                transport,
-                payload,
-                mean_s: xs.iter().sum::<f64>() / xs.len() as f64,
-                min_s: xs.iter().cloned().fold(f64::INFINITY, f64::min),
-                max_s: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-            });
+        let sample = |r: &mut StdRng| -> f64 {
+            if payload == "message" {
+                link.message_delay(r).value()
+            } else {
+                link.file_delay(clip_bytes, r).value()
+            }
+        };
+        let xs: Vec<f64> = (0..reps.max(1)).map(|_| sample(rng)).collect();
+        LinkDelay {
+            transport,
+            payload,
+            mean_s: xs.iter().sum::<f64>() / xs.len() as f64,
+            min_s: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            max_s: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
         }
-    }
-    out
+    })
 }

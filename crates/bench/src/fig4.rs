@@ -4,14 +4,12 @@
 //! measured attenuation matches spherical spreading — about 6 dB per
 //! distance doubling.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use wearlock_acoustics::channel::AcousticLink;
 use wearlock_acoustics::hardware::MicrophoneModel;
 use wearlock_acoustics::noise::Location;
 use wearlock_dsp::level::spl;
 use wearlock_dsp::units::{Meters, Spl};
+use wearlock_runtime::SweepRunner;
 
 /// One measured point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,32 +23,34 @@ pub struct SplPoint {
 }
 
 /// Runs the sweep: `volumes` × `distances`, one tone burst each.
-pub fn sweep(volumes: &[f64], distances: &[f64], seed: u64) -> Vec<SplPoint> {
-    let mut rng = StdRng::seed_from_u64(seed);
+///
+/// Each grid point is an independent task with its own derived RNG, so
+/// the result is identical for any worker count.
+pub fn sweep(volumes: &[f64], distances: &[f64], seed: u64, runner: &SweepRunner) -> Vec<SplPoint> {
     let tone: Vec<f64> = (0..8_192)
         .map(|i| (std::f64::consts::TAU * 3_000.0 * i as f64 / 44_100.0).sin())
         .collect();
-    let mut out = Vec::new();
-    for &v in volumes {
-        for &d in distances {
-            let link = AcousticLink::builder()
-                .distance(Meters(d))
-                .noise(Location::QuietRoom.noise_model())
-                .microphone(MicrophoneModel::ideal())
-                .padding(0, 0)
-                .build()
-                .expect("valid distance");
-            let rec = link.transmit(&tone, Spl(v), &mut rng);
-            // Skip propagation delay and edges when measuring.
-            let body = &rec[1_024..rec.len().saturating_sub(1_024).max(1_025)];
-            out.push(SplPoint {
-                volume: Spl(v),
-                distance: Meters(d),
-                received: spl(body),
-            });
+    let grid: Vec<(f64, f64)> = volumes
+        .iter()
+        .flat_map(|&v| distances.iter().map(move |&d| (v, d)))
+        .collect();
+    runner.map(&grid, seed, |&(v, d), rng| {
+        let link = AcousticLink::builder()
+            .distance(Meters(d))
+            .noise(Location::QuietRoom.noise_model())
+            .microphone(MicrophoneModel::ideal())
+            .padding(0, 0)
+            .build()
+            .expect("valid distance");
+        let rec = link.transmit(&tone, Spl(v), rng);
+        // Skip propagation delay and edges when measuring.
+        let body = &rec[1_024..rec.len().saturating_sub(1_024).max(1_025)];
+        SplPoint {
+            volume: Spl(v),
+            distance: Meters(d),
+            received: spl(body),
         }
-    }
-    out
+    })
 }
 
 /// Average attenuation per distance doubling over a sweep, in dB.
@@ -58,8 +58,7 @@ pub fn attenuation_per_doubling(points: &[SplPoint]) -> f64 {
     let mut diffs = Vec::new();
     for a in points {
         for b in points {
-            if (b.distance.value() - 2.0 * a.distance.value()).abs() < 1e-9
-                && a.volume == b.volume
+            if (b.distance.value() - 2.0 * a.distance.value()).abs() < 1e-9 && a.volume == b.volume
             {
                 diffs.push(a.received.value() - b.received.value());
             }

@@ -12,7 +12,7 @@
 //! jitter — then the standard receiver.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use wearlock_acoustics::hardware::{MicrophoneModel, SpeakerModel};
 use wearlock_acoustics::noise::gaussian_noise;
@@ -21,6 +21,7 @@ use wearlock_modem::config::OfdmConfig;
 use wearlock_modem::constellation::Modulation;
 use wearlock_modem::demodulator::bit_error_rate;
 use wearlock_modem::{OfdmDemodulator, OfdmModulator};
+use wearlock_runtime::SweepRunner;
 
 /// One measured point of the Fig. 5 sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,8 +46,7 @@ pub fn ber_at_ebn0(
     payload: &[bool],
     rng: &mut StdRng,
 ) -> f64 {
-    let speaker = SpeakerModel::smartphone()
-        .with_ringing(wearlock_dsp::units::Seconds(0.0));
+    let speaker = SpeakerModel::smartphone().with_ringing(wearlock_dsp::units::Seconds(0.0));
     let mic = MicrophoneModel::ideal().with_jitter(0.05);
     let sr = tx.config().sample_rate();
 
@@ -79,31 +79,37 @@ pub fn ber_at_ebn0(
 /// Runs the full Fig. 5 sweep.
 ///
 /// `ebn0_grid` in dB; `bits_per_point` controls statistical resolution.
-pub fn sweep(ebn0_grid: &[f64], bits_per_point: usize, seed: u64) -> Vec<BerPoint> {
+/// Each (modulation, Eb/N0) point is an independent task with its own
+/// derived RNG, so the result is identical for any worker count.
+pub fn sweep(
+    ebn0_grid: &[f64],
+    bits_per_point: usize,
+    seed: u64,
+    runner: &SweepRunner,
+) -> Vec<BerPoint> {
     let cfg = OfdmConfig::default();
     let tx = OfdmModulator::new(cfg.clone()).expect("default config");
     let rx = OfdmDemodulator::new(cfg.clone()).expect("default config");
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Vec::new();
-    for &m in &Modulation::ALL {
-        for &e in ebn0_grid {
-            let chunk = cfg.bits_per_block(m.bits_per_symbol()) * 10;
-            let rounds = bits_per_point.div_ceil(chunk).max(1);
-            let mut errs = 0.0;
-            let mut total = 0usize;
-            for _ in 0..rounds {
-                let payload: Vec<bool> = (0..chunk).map(|_| rng.gen()).collect();
-                let ber = ber_at_ebn0(&tx, &rx, m, Db(e), &payload, &mut rng);
-                errs += ber * chunk as f64;
-                total += chunk;
-            }
-            out.push(BerPoint {
-                modulation: m,
-                ebn0: Db(e),
-                ber: errs / total as f64,
-                bits: total,
-            });
+    let grid: Vec<(Modulation, f64)> = Modulation::ALL
+        .iter()
+        .flat_map(|&m| ebn0_grid.iter().map(move |&e| (m, e)))
+        .collect();
+    runner.map(&grid, seed, |&(m, e), rng| {
+        let chunk = cfg.bits_per_block(m.bits_per_symbol()) * 10;
+        let rounds = bits_per_point.div_ceil(chunk).max(1);
+        let mut errs = 0.0;
+        let mut total = 0usize;
+        for _ in 0..rounds {
+            let payload: Vec<bool> = (0..chunk).map(|_| rng.gen()).collect();
+            let ber = ber_at_ebn0(&tx, &rx, m, Db(e), &payload, rng);
+            errs += ber * chunk as f64;
+            total += chunk;
         }
-    }
-    out
+        BerPoint {
+            modulation: m,
+            ebn0: Db(e),
+            ber: errs / total as f64,
+            bits: total,
+        }
+    })
 }

@@ -1,13 +1,11 @@
 //! Figure 6: time (a) and power (b) of offloading vs local processing
 //! on the wearable, over 50 acoustic-unlock rounds.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
 use wearlock::config::ExecutionPlan;
 use wearlock::offload::step_cost;
 use wearlock_platform::device::{DeviceModel, Workload};
 use wearlock_platform::link::WirelessLink;
+use wearlock_runtime::SweepRunner;
 
 /// Aggregate of the 50-round comparison for one plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,30 +50,31 @@ fn round_workload() -> (Workload, usize) {
 
 /// Runs the 50-round comparison (paper: "we run our system for 50
 /// rounds of acoustic unlocking").
-pub fn run(rounds: usize, seed: u64) -> (PlanCost, PlanCost) {
-    let mut rng = StdRng::seed_from_u64(seed);
+///
+/// Every (plan, round) pair is an independent task with its own derived
+/// RNG, so the result is identical for any worker count.
+pub fn run(rounds: usize, seed: u64, runner: &SweepRunner) -> (PlanCost, PlanCost) {
     let phone = DeviceModel::nexus6();
     let watch = DeviceModel::moto360();
     let link = WirelessLink::wifi();
     let (work, samples) = round_workload();
+    let plans = [ExecutionPlan::LocalOnWatch, ExecutionPlan::OffloadToPhone];
 
-    let mut run_plan = |plan: ExecutionPlan| -> PlanCost {
-        let mut time = 0.0;
-        let mut watch_j = 0.0;
-        for _ in 0..rounds {
-            let c = step_cost(plan, &work, samples, &phone, &watch, &link, &mut rng);
-            time += c.time.value();
-            watch_j += c.watch_energy_j;
-        }
+    let costs = runner.run(plans.len() * rounds.max(1), seed, |i, rng| {
+        let plan = plans[i / rounds.max(1)];
+        step_cost(plan, &work, samples, &phone, &watch, &link, rng)
+    });
+
+    let aggregate = |plan_idx: usize| -> PlanCost {
+        let per_round = &costs[plan_idx * rounds.max(1)..(plan_idx + 1) * rounds.max(1)];
+        let time: f64 = per_round.iter().map(|c| c.time.value()).sum();
+        let watch_j: f64 = per_round.iter().map(|c| c.watch_energy_j).sum();
         PlanCost {
-            plan,
+            plan: plans[plan_idx],
             mean_time_s: time / rounds.max(1) as f64,
             watch_energy_j: watch_j,
             watch_battery_fraction: watch.battery_fraction(watch_j),
         }
     };
-    (
-        run_plan(ExecutionPlan::LocalOnWatch),
-        run_plan(ExecutionPlan::OffloadToPhone),
-    )
+    (aggregate(0), aggregate(1))
 }

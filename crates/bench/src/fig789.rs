@@ -2,8 +2,7 @@
 //! adaptive modulation at different MaxBER constraints, and BER under
 //! jamming with/without sub-channel selection.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use wearlock_acoustics::channel::AcousticLink;
 use wearlock_acoustics::hardware::MicrophoneModel;
@@ -13,6 +12,7 @@ use wearlock_modem::config::{FrequencyBand, OfdmConfig};
 use wearlock_modem::demodulator::bit_error_rate;
 use wearlock_modem::subchannel::{apply_selection, select_data_channels};
 use wearlock_modem::{ModePolicy, OfdmDemodulator, OfdmModulator, TransmissionMode};
+use wearlock_runtime::SweepRunner;
 
 /// A (distance, BER) measurement for one mode.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,28 +60,30 @@ fn measure_ber<R: Rng + ?Sized>(
 /// Figure 7: BER vs distance for the three fixed transmission modes
 /// (near-ultrasound, office LOS). `volume` is held fixed so distance is
 /// the only variable.
-pub fn fig7(distances: &[f64], trials: usize, seed: u64) -> Vec<DistanceBer> {
+///
+/// Each (mode, distance) point is an independent task with its own
+/// derived RNG, so the result is identical for any worker count.
+pub fn fig7(distances: &[f64], trials: usize, seed: u64, runner: &SweepRunner) -> Vec<DistanceBer> {
     let cfg = OfdmConfig::builder()
         .band(FrequencyBand::NearUltrasound)
         .build()
         .expect("band config valid");
     let tx = OfdmModulator::new(cfg.clone()).expect("valid");
     let rx = OfdmDemodulator::new(cfg).expect("valid");
-    let mut rng = StdRng::seed_from_u64(seed);
     let volume = Spl(56.0);
-    let mut out = Vec::new();
-    for mode in TransmissionMode::ALL {
-        for &d in distances {
-            let link = near_ultrasound_link(d);
-            let ber = measure_ber(&tx, &rx, &link, mode, volume, trials, &mut rng);
-            out.push(DistanceBer {
-                mode,
-                distance: d,
-                ber,
-            });
+    let grid: Vec<(TransmissionMode, f64)> = TransmissionMode::ALL
+        .into_iter()
+        .flat_map(|mode| distances.iter().map(move |&d| (mode, d)))
+        .collect();
+    runner.map(&grid, seed, |&(mode, d), rng| {
+        let link = near_ultrasound_link(d);
+        let ber = measure_ber(&tx, &rx, &link, mode, volume, trials, rng);
+        DistanceBer {
+            mode,
+            distance: d,
+            ber,
         }
-    }
-    out
+    })
 }
 
 /// One adaptive-modulation measurement.
@@ -101,52 +103,65 @@ pub struct AdaptiveBer {
 
 /// Figure 8: adaptive modulation under different MaxBER constraints —
 /// probe, pick the mode from measured Eb/N0, transmit, measure.
-pub fn fig8(max_bers: &[f64], distances: &[f64], trials: usize, seed: u64) -> Vec<AdaptiveBer> {
+///
+/// Each (MaxBER, distance) point is an independent task with its own
+/// derived RNG, so the result is identical for any worker count.
+pub fn fig8(
+    max_bers: &[f64],
+    distances: &[f64],
+    trials: usize,
+    seed: u64,
+    runner: &SweepRunner,
+) -> Vec<AdaptiveBer> {
     let cfg = OfdmConfig::builder()
         .band(FrequencyBand::NearUltrasound)
         .build()
         .expect("band config valid");
     let tx = OfdmModulator::new(cfg.clone()).expect("valid");
     let rx = OfdmDemodulator::new(cfg.clone()).expect("valid");
-    let mut rng = StdRng::seed_from_u64(seed);
     let volume = Spl(56.0);
-    let mut out = Vec::new();
-    for &mb in max_bers {
+    let grid: Vec<(f64, f64)> = max_bers
+        .iter()
+        .flat_map(|&mb| distances.iter().map(move |&d| (mb, d)))
+        .collect();
+    runner.map(&grid, seed, |&(mb, d), rng| {
         let policy = ModePolicy::new(mb).expect("valid maxber");
-        for &d in distances {
-            let link = near_ultrasound_link(d);
-            let mut bers = Vec::new();
-            let mut aborts = 0usize;
-            let mut mode_votes: std::collections::HashMap<TransmissionMode, usize> =
-                std::collections::HashMap::new();
-            for _ in 0..trials {
-                let probe_rec = link.transmit(&tx.probe(2).expect("valid"), volume, &mut rng);
-                let mode = rx
-                    .analyze_probe(&probe_rec)
-                    .ok()
-                    .and_then(|rep| policy.select_mode(rep.ebn0(rx.config(), TransmissionMode::Qpsk.modulation())));
-                match mode {
-                    None => aborts += 1,
-                    Some(m) => {
-                        *mode_votes.entry(m).or_insert(0) += 1;
-                        bers.push(measure_ber(&tx, &rx, &link, m, volume, 1, &mut rng));
-                    }
+        let link = near_ultrasound_link(d);
+        let mut bers = Vec::new();
+        let mut aborts = 0usize;
+        // BTreeMap for a deterministic tie-break in max_by_key below;
+        // HashMap's randomized iteration order would flip the reported
+        // mode between identical runs.
+        let mut mode_votes: std::collections::BTreeMap<TransmissionMode, usize> =
+            std::collections::BTreeMap::new();
+        for _ in 0..trials {
+            let probe_rec = link.transmit(&tx.probe(2).expect("valid"), volume, rng);
+            let mode = rx.analyze_probe(&probe_rec).ok().and_then(|rep| {
+                policy.select_mode(rep.ebn0(rx.config(), TransmissionMode::Qpsk.modulation()))
+            });
+            match mode {
+                None => aborts += 1,
+                Some(m) => {
+                    *mode_votes.entry(m).or_insert(0) += 1;
+                    bers.push(measure_ber(&tx, &rx, &link, m, volume, 1, rng));
                 }
             }
-            out.push(AdaptiveBer {
-                max_ber: mb,
-                distance: d,
-                ber: if bers.is_empty() {
-                    f64::NAN
-                } else {
-                    bers.iter().sum::<f64>() / bers.len() as f64
-                },
-                mode: mode_votes.into_iter().max_by_key(|(_, n)| *n).map(|(m, _)| m),
-                abort_rate: aborts as f64 / trials.max(1) as f64,
-            });
         }
-    }
-    out
+        AdaptiveBer {
+            max_ber: mb,
+            distance: d,
+            ber: if bers.is_empty() {
+                f64::NAN
+            } else {
+                bers.iter().sum::<f64>() / bers.len() as f64
+            },
+            mode: mode_votes
+                .into_iter()
+                .max_by_key(|(_, n)| *n)
+                .map(|(m, _)| m),
+            abort_rate: aborts as f64 / trials.max(1) as f64,
+        }
+    })
 }
 
 /// One jamming measurement.
@@ -162,16 +177,17 @@ pub struct JammingBer {
 
 /// Figure 9: BER under a tone jammer with and without sub-channel
 /// selection (QPSK, audible band, 15 cm — the paper's setup).
-pub fn fig9(max_jammed: usize, trials: usize, seed: u64) -> Vec<JammingBer> {
+///
+/// Each jammed-tone count is an independent task with its own derived
+/// RNG, so the result is identical for any worker count.
+pub fn fig9(max_jammed: usize, trials: usize, seed: u64, runner: &SweepRunner) -> Vec<JammingBer> {
     let cfg = OfdmConfig::default();
     let tx = OfdmModulator::new(cfg.clone()).expect("valid");
     let rx = OfdmDemodulator::new(cfg.clone()).expect("valid");
-    let mut rng = StdRng::seed_from_u64(seed);
     let volume = Spl(68.0);
     let mode = TransmissionMode::Qpsk;
-    let mut out = Vec::new();
 
-    for jammed in 0..=max_jammed {
+    runner.run(max_jammed + 1, seed, |jammed, rng| {
         let mut fixed_total = 0.0;
         let mut selected_total = 0.0;
         for _ in 0..trials {
@@ -198,9 +214,9 @@ pub fn fig9(max_jammed: usize, trials: usize, seed: u64) -> Vec<JammingBer> {
                 .build()
                 .expect("valid distance");
 
-            fixed_total += measure_ber(&tx, &rx, &link, mode, volume, 1, &mut rng);
+            fixed_total += measure_ber(&tx, &rx, &link, mode, volume, 1, rng);
 
-            let probe_rec = link.transmit(&tx.probe(2).expect("valid"), volume, &mut rng);
+            let probe_rec = link.transmit(&tx.probe(2).expect("valid"), volume, rng);
             let sel_ber = match rx.analyze_probe(&probe_rec) {
                 Ok(rep) => {
                     match select_data_channels(&cfg, &rep.noise_spectrum, 12)
@@ -209,7 +225,7 @@ pub fn fig9(max_jammed: usize, trials: usize, seed: u64) -> Vec<JammingBer> {
                         Ok(cfg2) => {
                             let tx2 = OfdmModulator::new(cfg2.clone()).expect("valid");
                             let rx2 = OfdmDemodulator::new(cfg2).expect("valid");
-                            measure_ber(&tx2, &rx2, &link, mode, volume, 1, &mut rng)
+                            measure_ber(&tx2, &rx2, &link, mode, volume, 1, rng)
                         }
                         Err(_) => 0.5,
                     }
@@ -218,11 +234,10 @@ pub fn fig9(max_jammed: usize, trials: usize, seed: u64) -> Vec<JammingBer> {
             };
             selected_total += sel_ber;
         }
-        out.push(JammingBer {
+        JammingBer {
             jammed,
             ber_fixed: fixed_total / trials.max(1) as f64,
             ber_selected: selected_total / trials.max(1) as f64,
-        });
-    }
-    out
+        }
+    })
 }

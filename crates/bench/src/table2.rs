@@ -3,17 +3,15 @@
 //!
 //! Paper values: Sitting 0.05, Walking 0.02, Running 0.06, Different
 //! 0.20, cost 45.9 ms (measured on the Moto 360; our cost column is the
-//! host-measured wall time scaled to the watch by the platform compute
-//! model).
+//! platform compute model's Moto 360 figure, which — unlike a host
+//! wall-clock measurement — is deterministic, so `repro` output stays
+//! bitwise identical across runs and machines).
 
-use std::time::Instant;
+use rand::Rng;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use wearlock_sensors::activity::{
-    synthesize_different_pair, synthesize_pair, Activity,
-};
+use wearlock_platform::{DeviceModel, Workload};
+use wearlock_runtime::SweepRunner;
+use wearlock_sensors::activity::{synthesize_different_pair, synthesize_pair, Activity};
 use wearlock_sensors::dtw::dtw_score;
 
 /// One row of Table II.
@@ -30,64 +28,58 @@ pub struct Table2Row {
 pub struct Table2 {
     /// Per-scenario scores.
     pub rows: Vec<Table2Row>,
-    /// Mean DTW wall-clock cost on this host, milliseconds.
-    pub host_cost_ms: f64,
+    /// DTW cost on the watch per the platform compute model, ms.
+    pub watch_cost_ms: f64,
 }
 
 /// Runs the Table II experiment: `trials` trace pairs per scenario with
 /// lengths drawn from the paper's 50–150 sample range.
-pub fn run(trials: usize, seed: u64) -> Table2 {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut rows = Vec::new();
-    let mut timings = Vec::new();
-
-    let measure = |mags: &[(Vec<f64>, Vec<f64>)], timings: &mut Vec<f64>| -> f64 {
-        let mut total = 0.0;
-        for (p, w) in mags {
-            let t0 = Instant::now();
-            let s = dtw_score(p, w);
-            timings.push(t0.elapsed().as_secs_f64() * 1e3);
-            total += s;
-        }
-        total / mags.len() as f64
+///
+/// Each scenario is an independent task with its own derived RNG, so
+/// the result is identical for any worker count.
+pub fn run(trials: usize, seed: u64, runner: &SweepRunner) -> Table2 {
+    let mean_score = |mags: &[(Vec<f64>, Vec<f64>)]| -> f64 {
+        mags.iter().map(|(p, w)| dtw_score(p, w)).sum::<f64>() / mags.len() as f64
     };
 
-    for activity in Activity::ALL {
-        let pairs: Vec<_> = (0..trials)
-            .map(|_| {
-                let len = 50 + rng.gen_range(0..=100);
-                let (p, w) = synthesize_pair(activity, len, &mut rng);
-                (p.magnitude(), w.magnitude())
-            })
-            .collect();
-        rows.push(Table2Row {
-            scenario: activity.to_string(),
-            dtw_score: measure(&pairs, &mut timings),
-        });
-    }
-
-    // "Different": phone and watch on different bodies/activities.
+    // Scenarios: the three same-body activities plus "Different"
+    // (phone and watch on different bodies/activities).
     let combos = [
         (Activity::Walking, Activity::Running),
         (Activity::Sitting, Activity::Walking),
         (Activity::Running, Activity::Sitting),
         (Activity::Walking, Activity::Walking), // independent walkers
     ];
-    let pairs: Vec<_> = (0..trials)
-        .map(|i| {
-            let len = 50 + rng.gen_range(0..=100);
-            let (pa, wa) = combos[i % combos.len()];
-            let (p, w) = synthesize_different_pair(pa, wa, len, &mut rng);
-            (p.magnitude(), w.magnitude())
-        })
-        .collect();
-    rows.push(Table2Row {
-        scenario: "Different".to_string(),
-        dtw_score: measure(&pairs, &mut timings),
+    let n_same = Activity::ALL.len();
+
+    let rows = runner.run(n_same + 1, seed, |task, rng| {
+        let pairs: Vec<_> = (0..trials)
+            .map(|i| {
+                let len = 50 + rng.gen_range(0..=100);
+                let (p, w) = if task < n_same {
+                    synthesize_pair(Activity::ALL[task], len, rng)
+                } else {
+                    let (pa, wa) = combos[i % combos.len()];
+                    synthesize_different_pair(pa, wa, len, rng)
+                };
+                (p.magnitude(), w.magnitude())
+            })
+            .collect();
+        Table2Row {
+            scenario: if task < n_same {
+                Activity::ALL[task].to_string()
+            } else {
+                "Different".to_string()
+            },
+            dtw_score: mean_score(&pairs),
+        }
     });
 
     Table2 {
         rows,
-        host_cost_ms: timings.iter().sum::<f64>() / timings.len().max(1) as f64,
+        watch_cost_ms: DeviceModel::moto360()
+            .execute(&Workload::Dtw { n: 150, m: 150 })
+            .value()
+            * 1e3,
     }
 }

@@ -92,7 +92,10 @@ mod tests {
 
     #[test]
     fn short_recordings_fail_safe() {
-        assert_eq!(ambient_similarity(&[0.0; 10], &[0.0; 10], SampleRate::CD), -1.0);
+        assert_eq!(
+            ambient_similarity(&[0.0; 10], &[0.0; 10], SampleRate::CD),
+            -1.0
+        );
         assert!(ambient_fingerprint(&[0.0; 100], SampleRate::CD).is_none());
     }
 

@@ -56,11 +56,8 @@ pub fn brute_force<R: Rng + ?Sized>(
 
     let mut simulated_successes = 0;
     for t in 0..trials {
-        let mut verifier = TokenVerifier::new(
-            config.otp_key.clone(),
-            t as u64 * 1_000,
-            config.otp_window,
-        );
+        let mut verifier =
+            TokenVerifier::new(config.otp_key.clone(), t as u64 * 1_000, config.otp_window);
         let mut locked = wearlock_auth::LockoutPolicy::new(guesses_allowed);
         while !locked.is_locked_out() {
             let guess: u32 = rng.gen::<u32>() & 0x7fff_ffff;
@@ -168,10 +165,7 @@ pub enum ReplayOutcome {
 /// Simulates a record-and-replay attack: the adversary captured a
 /// *verified* token exchange and replays the recording `replay_delay`
 /// seconds later than the protocol's expected acoustic path time.
-pub fn record_and_replay(
-    config: &WearLockConfig,
-    replay_delay_s: f64,
-) -> ReplayOutcome {
+pub fn record_and_replay(config: &WearLockConfig, replay_delay_s: f64) -> ReplayOutcome {
     let mut gen = TokenGenerator::new(config.otp_key.clone(), 0);
     let mut verifier = TokenVerifier::new(config.otp_key.clone(), 0, config.otp_window);
 
@@ -293,7 +287,11 @@ pub fn relay_attack_full<R: Rng + ?Sized>(
             .speaker(speaker)
             .microphone(config.receiver_microphone())
             .build()?;
-        let rec = link.transmit(&tx.probe(2)?, config.required_volume(Location::Office.ambient_spl()), rng);
+        let rec = link.transmit(
+            &tx.probe(2)?,
+            config.required_volume(Location::Office.ambient_spl()),
+            rng,
+        );
         Ok(rx.analyze_probe(&rec).ok())
     };
 
@@ -415,15 +413,8 @@ mod tests {
 
         // Distance bounding on: even 20 ms of relay latency reads as
         // several metres of acoustic path.
-        let out = relay_attack_full(
-            &config,
-            0.0,
-            0.02,
-            false,
-            Some(Meters(1.2)),
-            &mut rng,
-        )
-        .unwrap();
+        let out =
+            relay_attack_full(&config, 0.0, 0.02, false, Some(Meters(1.2)), &mut rng).unwrap();
         assert_eq!(out, FullRelayOutcome::DistanceBoundExceeded);
     }
 
@@ -433,15 +424,7 @@ mod tests {
         let config = cfg();
         // The genuine device (same speaker unit, no extra delay) clears
         // both counter-measures — defences must not lock out the owner.
-        let out = relay_attack_full(
-            &config,
-            0.0,
-            0.0,
-            true,
-            Some(Meters(1.2)),
-            &mut rng,
-        )
-        .unwrap();
+        let out = relay_attack_full(&config, 0.0, 0.0, true, Some(Meters(1.2)), &mut rng).unwrap();
         assert_eq!(out, FullRelayOutcome::Accepted);
     }
 

@@ -86,10 +86,8 @@ pub fn project_daily(
     watch: &DeviceModel,
     link: &WirelessLink,
 ) -> DailyCost {
-    let skip =
-        (profile.motion_skip_fraction + profile.early_abort_fraction).clamp(0.0, 1.0);
-    let acoustic_rounds =
-        ((profile.unlocks_per_day as f64) * (1.0 - skip)).round() as u32;
+    let skip = (profile.motion_skip_fraction + profile.early_abort_fraction).clamp(0.0, 1.0);
+    let acoustic_rounds = ((profile.unlocks_per_day as f64) * (1.0 - skip)).round() as u32;
     let (work, samples) = round_workload();
 
     // Use a fixed-seed RNG only for jitter; medians dominate.
@@ -115,7 +113,13 @@ pub fn daily_comparison(profile: &UsageProfile) -> (DailyCost, DailyCost) {
     let link = WirelessLink::wifi();
     (
         project_daily(profile, ExecutionPlan::LocalOnWatch, &phone, &watch, &link),
-        project_daily(profile, ExecutionPlan::OffloadToPhone, &phone, &watch, &link),
+        project_daily(
+            profile,
+            ExecutionPlan::OffloadToPhone,
+            &phone,
+            &watch,
+            &link,
+        ),
     )
 }
 

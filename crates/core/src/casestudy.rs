@@ -257,12 +257,35 @@ mod tests {
 
     #[test]
     fn same_hand_triggers_nlos_machinery() {
+        // The NLOS screen fires on roughly 10% of the same-hand
+        // participant's attempts (the paper reports 3/10), so a
+        // 10-trial block has a ~35% chance of zero flags on any given
+        // seed. Probe that participant alone over enough attempts that
+        // a zero count means the machinery is broken rather than an
+        // unlucky draw.
         let mut rng = StdRng::seed_from_u64(63);
-        let cs = run_case_study(10, &mut rng).unwrap();
-        let p3 = &cs.participants[3];
+        let p = Participant::roster().remove(3);
+        let config = WearLockConfig::builder()
+            .max_ber(p.max_ber)
+            .nlos_relax_max_ber(p.nlos_relax)
+            .build()
+            .unwrap();
+        let mut session = UnlockSession::new(config).unwrap();
+        let env = Environment::builder()
+            .location(Location::ClassRoom)
+            .distance(p.distance)
+            .path(p.path)
+            .build();
+        let mut flags = 0;
+        for _ in 0..40 {
+            if session.attempt(&env, &mut rng).nlos_flagged {
+                flags += 1;
+            }
+            session.enter_pin();
+        }
         assert!(
-            p3.nlos_flags > 0,
-            "expected NLOS flags for the same-hand participant"
+            flags > 0,
+            "expected NLOS flags for the same-hand participant (0/40)"
         );
     }
 }

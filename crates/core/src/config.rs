@@ -2,8 +2,8 @@
 
 use wearlock_acoustics::hardware::{MicrophoneModel, SpeakerModel};
 use wearlock_dsp::units::{Db, Meters, Spl};
-use wearlock_modem::config::{FrequencyBand, OfdmConfig};
 use wearlock_modem::coding::TokenCoding;
+use wearlock_modem::config::{FrequencyBand, OfdmConfig};
 use wearlock_modem::ModePolicy;
 use wearlock_platform::device::DeviceModel;
 use wearlock_platform::link::Transport;
@@ -34,8 +34,11 @@ pub enum NamedConfig {
 
 impl NamedConfig {
     /// All three named configurations.
-    pub const ALL: [NamedConfig; 3] =
-        [NamedConfig::Config1, NamedConfig::Config2, NamedConfig::Config3];
+    pub const ALL: [NamedConfig; 3] = [
+        NamedConfig::Config1,
+        NamedConfig::Config2,
+        NamedConfig::Config3,
+    ];
 
     /// The (phone, transport, plan) triple of this configuration.
     pub fn parts(self) -> (DeviceModel, Transport, ExecutionPlan) {
@@ -190,7 +193,7 @@ impl WearLockConfig {
         // spreading-loss formula alone predicts 8 dB more.
         const CALIBRATION_DB: f64 = 8.0;
         let min_ebn0 = Db(self.policy.min_ebn0().value() + 2.5); // small head-room
-        // Eb/N0 → required C/N via B/R of the deciding mode.
+                                                                 // Eb/N0 → required C/N via B/R of the deciding mode.
         let mode = wearlock_modem::TransmissionMode::Qpsk;
         let b = self.modem.occupied_bandwidth().value();
         let r = self.modem.data_rate(mode.bits_per_symbol());
@@ -433,7 +436,7 @@ impl WearLockConfigBuilder {
                 "token repetition must be >= 1".into(),
             ));
         }
-        if !(self.secure_range.value() > 0.0) {
+        if self.secure_range.value() <= 0.0 || self.secure_range.value().is_nan() {
             return Err(WearLockError::InvalidConfig(
                 "secure range must be positive".into(),
             ));
@@ -498,7 +501,10 @@ mod tests {
 
     #[test]
     fn builder_validation() {
-        assert!(WearLockConfig::builder().otp_key(Vec::new()).build().is_err());
+        assert!(WearLockConfig::builder()
+            .otp_key(Vec::new())
+            .build()
+            .is_err());
         assert!(WearLockConfig::builder().repetition(0).build().is_err());
         assert!(WearLockConfig::builder()
             .secure_range(Meters(0.0))

@@ -80,7 +80,7 @@ pub fn measure_breakdown<R: Rng + ?Sized>(
     }
     let n = collected.len() as f64;
     let avg = |f: &dyn Fn(&crate::session::AttemptReport) -> f64| -> Seconds {
-        Seconds(collected.iter().map(|r| f(r)).sum::<f64>() / n)
+        Seconds(collected.iter().map(f).sum::<f64>() / n)
     };
     Ok(DelayBreakdown {
         config: config_kind,
@@ -143,7 +143,13 @@ mod tests {
     fn config1_beats_config2_beats_config3() {
         let mut rng = StdRng::seed_from_u64(70);
         let env = Environment::default();
-        let report = compare_with_pin(&env, 3, &mut rng).unwrap();
+        // Config2 and Config3 differ by only ~3% in expected total (BT
+        // offload to a slow phone vs local watch compute) while a single
+        // attempt's wireless jitter is larger than that gap, so a
+        // 3-trial mean flips the ordering on roughly 1 seed in 4. 25
+        // trials brings the sample means close enough to their
+        // expectations for the designed ordering to resolve.
+        let report = compare_with_pin(&env, 25, &mut rng).unwrap();
         let t: Vec<f64> = report.configs.iter().map(|c| c.total.value()).collect();
         assert!(t[0] < t[1], "config1 {} vs config2 {}", t[0], t[1]);
         assert!(t[1] < t[2], "config2 {} vs config3 {}", t[1], t[2]);
@@ -173,8 +179,8 @@ mod tests {
     #[test]
     fn breakdown_parts_sum_close_to_total() {
         let mut rng = StdRng::seed_from_u64(72);
-        let b = measure_breakdown(NamedConfig::Config1, &Environment::default(), 3, &mut rng)
-            .unwrap();
+        let b =
+            measure_breakdown(NamedConfig::Config1, &Environment::default(), 3, &mut rng).unwrap();
         let parts = b.phase1_processing.value()
             + b.phase2_preprocessing.value()
             + b.phase2_demodulation.value()
@@ -191,10 +197,10 @@ mod tests {
     #[test]
     fn watch_local_demod_dominates_config3() {
         let mut rng = StdRng::seed_from_u64(73);
-        let b3 = measure_breakdown(NamedConfig::Config3, &Environment::default(), 3, &mut rng)
-            .unwrap();
-        let b1 = measure_breakdown(NamedConfig::Config1, &Environment::default(), 3, &mut rng)
-            .unwrap();
+        let b3 =
+            measure_breakdown(NamedConfig::Config3, &Environment::default(), 3, &mut rng).unwrap();
+        let b1 =
+            measure_breakdown(NamedConfig::Config1, &Environment::default(), 3, &mut rng).unwrap();
         assert!(
             b3.phase1_processing.value() > 5.0 * b1.phase1_processing.value(),
             "watch probing {} vs phone {}",

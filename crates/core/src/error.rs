@@ -66,9 +66,7 @@ mod tests {
 
     #[test]
     fn wraps_sources() {
-        let e = WearLockError::from(wearlock_modem::ModemError::SignalNotFound {
-            best_score: 0.0,
-        });
+        let e = WearLockError::from(wearlock_modem::ModemError::SignalNotFound { best_score: 0.0 });
         assert!(e.source().is_some());
         assert!(e.to_string().starts_with("modem:"));
     }

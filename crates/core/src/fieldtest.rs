@@ -135,7 +135,11 @@ pub fn run_field_test<R: Rng + ?Sized>(
                     .path(hands.path())
                     .build();
                 let mut bers = Vec::new();
-                let mut modes = std::collections::HashMap::new();
+                // BTreeMap, not HashMap: on a count tie, max_by_key
+                // keeps the last entry in iteration order, and HashMap's
+                // per-process hash seed would make the reported mode
+                // flip between identical runs.
+                let mut modes = std::collections::BTreeMap::new();
                 for _ in 0..trials {
                     let report = session.attempt(&env, rng);
                     if let Some(ber) = report.measured_ber {
@@ -146,10 +150,7 @@ pub fn run_field_test<R: Rng + ?Sized>(
                     }
                     session.enter_pin();
                 }
-                let mode = modes
-                    .into_iter()
-                    .max_by_key(|(_, n)| *n)
-                    .map(|(m, _)| m);
+                let mode = modes.into_iter().max_by_key(|(_, n)| *n).map(|(m, _)| m);
                 let samples = bers.len();
                 let ber = if samples > 0 {
                     bers.iter().sum::<f64>() / samples as f64

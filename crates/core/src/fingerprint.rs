@@ -32,11 +32,7 @@ impl AcousticFingerprint {
     pub fn from_probe(report: &ProbeReport, config: &OfdmConfig) -> Option<Self> {
         let mut bins = Vec::new();
         let mut phases = Vec::new();
-        for &k in config
-            .pilot_channels()
-            .iter()
-            .chain(config.data_channels())
-        {
+        for &k in config.pilot_channels().iter().chain(config.data_channels()) {
             if let Some(h) = report.channel_gain.get(k).copied().flatten() {
                 if h.norm_sq() > 1e-12 {
                     bins.push(k);
@@ -106,8 +102,7 @@ impl AcousticFingerprint {
         // Remove any common offset before the RMS (different probes can
         // carry a global phase).
         let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
-        (diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / diffs.len() as f64)
-            .sqrt()
+        (diffs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / diffs.len() as f64).sqrt()
     }
 
     /// Phase residual on bin `k`, if covered.
@@ -149,11 +144,7 @@ impl FingerprintVerifier {
     /// Enrolls from several probes by averaging their residuals
     /// (reduces per-probe noise). Returns `None` if no probe yields a
     /// fingerprint.
-    pub fn enroll(
-        probes: &[ProbeReport],
-        config: &OfdmConfig,
-        threshold_rad: f64,
-    ) -> Option<Self> {
+    pub fn enroll(probes: &[ProbeReport], config: &OfdmConfig, threshold_rad: f64) -> Option<Self> {
         let prints: Vec<AcousticFingerprint> = probes
             .iter()
             .filter_map(|p| AcousticFingerprint::from_probe(p, config))
@@ -189,9 +180,7 @@ impl FingerprintVerifier {
 
 /// Helper for tests and simulations: builds a fingerprint directly from
 /// a per-bin channel-gain table.
-pub fn fingerprint_from_gains(
-    gains: &[(usize, Complex)],
-) -> Option<AcousticFingerprint> {
+pub fn fingerprint_from_gains(gains: &[(usize, Complex)]) -> Option<AcousticFingerprint> {
     if gains.len() < 4 {
         return None;
     }
@@ -257,10 +246,7 @@ mod tests {
     use wearlock_dsp::units::{Meters, Spl};
     use wearlock_modem::{OfdmDemodulator, OfdmModulator};
 
-    fn probe_with_speaker(
-        speaker: SpeakerModel,
-        seed: u64,
-    ) -> (ProbeReport, OfdmConfig) {
+    fn probe_with_speaker(speaker: SpeakerModel, seed: u64) -> (ProbeReport, OfdmConfig) {
         let cfg = OfdmConfig::default();
         let tx = OfdmModulator::new(cfg.clone()).unwrap();
         let rx = OfdmDemodulator::new(cfg.clone()).unwrap();
@@ -289,8 +275,7 @@ mod tests {
         let (p1, cfg) = probe_with_speaker(SpeakerModel::smartphone(), 3);
         // A different physical unit: same model, different resonance
         // placement (ripple phase).
-        let (p2, _) =
-            probe_with_speaker(SpeakerModel::smartphone().with_ripple_phase(2.0), 4);
+        let (p2, _) = probe_with_speaker(SpeakerModel::smartphone().with_ripple_phase(2.0), 4);
         let verifier = FingerprintVerifier::enroll(&[p1], &cfg, 0.3).unwrap();
         assert!(!verifier.matches(&p2, &cfg));
     }
@@ -300,8 +285,7 @@ mod tests {
         let spk = SpeakerModel::smartphone();
         let (p1, cfg) = probe_with_speaker(spk.clone(), 5);
         let (p2, _) = probe_with_speaker(spk.clone(), 6);
-        let (p3, _) =
-            probe_with_speaker(SpeakerModel::smartphone().with_ripple_phase(2.5), 7);
+        let (p3, _) = probe_with_speaker(SpeakerModel::smartphone().with_ripple_phase(2.5), 7);
         let f1 = AcousticFingerprint::from_probe(&p1, &cfg).unwrap();
         let f2 = AcousticFingerprint::from_probe(&p2, &cfg).unwrap();
         let f3 = AcousticFingerprint::from_probe(&p3, &cfg).unwrap();
@@ -320,11 +304,7 @@ mod tests {
             .map(|k| (k, Complex::cis(-0.37 * k as f64 + 1.1)))
             .collect();
         let fp = fingerprint_from_gains(&gains).unwrap();
-        let rms = (fp
-            .residual_phase
-            .iter()
-            .map(|p| p * p)
-            .sum::<f64>()
+        let rms = (fp.residual_phase.iter().map(|p| p * p).sum::<f64>()
             / fp.residual_phase.len() as f64)
             .sqrt();
         assert!(rms < 1e-9, "rms {rms}");
@@ -332,21 +312,16 @@ mod tests {
 
     #[test]
     fn too_few_bins_yields_none() {
-        let gains: Vec<(usize, Complex)> =
-            (0..3).map(|k| (k + 5, Complex::ONE)).collect();
+        let gains: Vec<(usize, Complex)> = (0..3).map(|k| (k + 5, Complex::ONE)).collect();
         assert!(fingerprint_from_gains(&gains).is_none());
     }
 
     #[test]
     fn disjoint_fingerprints_are_infinitely_far() {
-        let a = fingerprint_from_gains(
-            &(10..20).map(|k| (k, Complex::ONE)).collect::<Vec<_>>(),
-        )
-        .unwrap();
-        let b = fingerprint_from_gains(
-            &(40..50).map(|k| (k, Complex::ONE)).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let a = fingerprint_from_gains(&(10..20).map(|k| (k, Complex::ONE)).collect::<Vec<_>>())
+            .unwrap();
+        let b = fingerprint_from_gains(&(40..50).map(|k| (k, Complex::ONE)).collect::<Vec<_>>())
+            .unwrap();
         assert!(a.distance(&b).is_infinite());
     }
 }

@@ -98,23 +98,22 @@ fn watch_role(
                     .send(ToPhone::Ready)
                     .map_err(|e| WearLockError::SessionFailed(e.to_string()))?;
             }
-            ToWatch::Acoustic { waveform, volume_db } => {
+            ToWatch::Acoustic {
+                waveform,
+                volume_db,
+            } => {
                 let recording = link.transmit(&waveform, Spl(volume_db), &mut rng);
                 match mode {
                     None => {
                         // Phase 1: analyze the probe, report SNR.
-                        let snr = demod
-                            .analyze_probe(&recording)
-                            .ok()
-                            .map(|r| r.psnr.value());
+                        let snr = demod.analyze_probe(&recording).ok().map(|r| r.psnr.value());
                         tx_ctrl
                             .send(ToPhone::ProbeSnr(snr))
                             .map_err(|e| WearLockError::SessionFailed(e.to_string()))?;
                     }
                     Some(m) => {
                         // Phase 2: demodulate the token bits.
-                        let n_bits =
-                            wearlock_auth::TOKEN_BITS * config.repetition();
+                        let n_bits = wearlock_auth::TOKEN_BITS * config.repetition();
                         let bits = demod
                             .demodulate(&recording, m.modulation(), n_bits)
                             .ok()
@@ -151,7 +150,15 @@ pub fn run_live_session(
     let watch_env = env.clone();
     let watch_handle = thread::Builder::new()
         .name("wearlock-watch".into())
-        .spawn(move || watch_role(&watch_cfg, &watch_env, seed ^ 0xdead, rx_at_watch, tx_to_phone))
+        .spawn(move || {
+            watch_role(
+                &watch_cfg,
+                &watch_env,
+                seed ^ 0xdead,
+                rx_at_watch,
+                tx_to_phone,
+            )
+        })
         .map_err(|e| WearLockError::SessionFailed(e.to_string()))?;
 
     let phone = || -> Result<LiveOutcome, WearLockError> {
@@ -162,7 +169,9 @@ pub fn run_live_session(
 
         let recv = |rx: &Receiver<ToPhone>| -> Result<ToPhone, WearLockError> {
             rx.recv_timeout(STEP_TIMEOUT)
-                .map_err(|e: RecvTimeoutError| WearLockError::SessionFailed(format!("phone recv: {e}")))
+                .map_err(|e: RecvTimeoutError| {
+                    WearLockError::SessionFailed(format!("phone recv: {e}"))
+                })
         };
         let send = |msg: ToWatch| -> Result<(), WearLockError> {
             tx_to_watch

@@ -82,8 +82,8 @@ pub fn choose_plan(
     link: &WirelessLink,
 ) -> ExecutionPlan {
     let local = watch.execute(workload).value();
-    let offload = link.file_delay_median(pcm_bytes(audio_samples)).value()
-        + phone.execute(workload).value();
+    let offload =
+        link.file_delay_median(pcm_bytes(audio_samples)).value() + phone.execute(workload).value();
     if local < offload {
         ExecutionPlan::LocalOnWatch
     } else {
@@ -137,7 +137,10 @@ mod tests {
             &wifi,
             &mut rng,
         );
-        assert!(off.time.value() < local.time.value(), "{off:?} vs {local:?}");
+        assert!(
+            off.time.value() < local.time.value(),
+            "{off:?} vs {local:?}"
+        );
         assert!(off.watch_energy_j < local.watch_energy_j);
         assert!(off.phone_energy_j > 0.0 && local.phone_energy_j == 0.0);
     }

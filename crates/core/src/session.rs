@@ -26,9 +26,9 @@ use wearlock_auth::token::{
     bits_to_token, repetition_decode, repetition_encode, token_to_bits, TokenGenerator,
     TokenVerifier, VerifyOutcome,
 };
-use wearlock_modem::coding::{conv_encode, viterbi_decode, TokenCoding};
 use wearlock_auth::LockoutPolicy;
 use wearlock_dsp::units::{Db, Seconds, Spl};
+use wearlock_modem::coding::{conv_encode, viterbi_decode, TokenCoding};
 use wearlock_modem::demodulator::bit_error_rate;
 use wearlock_modem::subchannel::{apply_selection, select_data_channels};
 use wearlock_modem::{ModePolicy, OfdmDemodulator, OfdmModulator, TransmissionMode};
@@ -168,8 +168,11 @@ impl UnlockSession {
         // Validate the modem config eagerly.
         let _ = OfdmModulator::new(config.modem.clone())?;
         let generator = TokenGenerator::new(config.otp_key.clone(), config.otp_counter);
-        let verifier =
-            TokenVerifier::new(config.otp_key.clone(), config.otp_counter, config.otp_window);
+        let verifier = TokenVerifier::new(
+            config.otp_key.clone(),
+            config.otp_counter,
+            config.otp_window,
+        );
         let link = WirelessLink::new(config.transport);
         Ok(UnlockSession {
             lockout: LockoutPolicy::new(config.max_failures),
@@ -242,10 +245,7 @@ impl UnlockSession {
                     reason: DenyReason| {
             report.outcome = Outcome::Denied(reason);
             report.total_delay = clock.now();
-            report.delays = clock
-                .spans()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect();
+            report.delays = clock.spans().map(|(k, v)| (k.to_string(), v)).collect();
             report.watch_energy_j = energy.watch_energy_j;
             report.phone_energy_j = energy.phone_energy_j;
         };
@@ -281,9 +281,15 @@ impl UnlockSession {
             n: env.sensor_samples,
             m: env.sensor_samples,
         };
-        clock.advance("compute:motion-filter", self.config.phone.execute(&dtw_work));
+        clock.advance(
+            "compute:motion-filter",
+            self.config.phone.execute(&dtw_work),
+        );
         energy.phone_energy_j += self.config.phone.energy_for(&dtw_work);
-        let decision = self.config.motion_filter.evaluate(&phone_trace, &watch_trace);
+        let decision = self
+            .config
+            .motion_filter
+            .evaluate(&phone_trace, &watch_trace);
         report.dtw_score = Some(decision.score());
         match decision {
             FilterDecision::Abort { .. } => {
@@ -296,8 +302,7 @@ impl UnlockSession {
                 self.lockout.record_success();
                 report.outcome = Outcome::Unlocked(UnlockPath::MotionSkip);
                 report.total_delay = clock.now();
-                report.delays =
-                    clock.spans().map(|(k, v)| (k.to_string(), v)).collect();
+                report.delays = clock.spans().map(|(k, v)| (k.to_string(), v)).collect();
                 report.watch_energy_j = energy.watch_energy_j;
                 report.phone_energy_j = energy.phone_energy_j;
                 return report;
@@ -415,15 +420,15 @@ impl UnlockSession {
                 .noise_spectrum
                 .iter()
                 .enumerate()
-                .map(|(k, &noise)| {
-                    match probe_report.channel_gain.get(k).copied().flatten() {
+                .map(
+                    |(k, &noise)| match probe_report.channel_gain.get(k).copied().flatten() {
                         Some(h) => {
                             let g = (h.norm_sq() / median_gain.max(1e-30)).max(1e-3);
                             noise / g
                         }
                         None => noise,
-                    }
-                })
+                    },
+                )
                 .collect();
             if let Ok(sel) = select_data_channels(
                 &modem_cfg,
@@ -463,10 +468,7 @@ impl UnlockSession {
             .modulate(&coded, mode.modulation())
             .expect("coded token is non-empty");
         let token_rec = acoustic.transmit(&wave, volume, rng);
-        clock.advance(
-            "audio:phase2",
-            Seconds(wave.len() as f64 / 44_100.0 + 0.08),
-        );
+        clock.advance("audio:phase2", Seconds(wave.len() as f64 / 44_100.0 + 0.08));
 
         let blocks = tx2.blocks_for(coded.len(), mode.modulation());
         let token_kept = (wave.len() + 4_410).min(token_rec.len());
@@ -519,11 +521,9 @@ impl UnlockSession {
             Ok(result) => {
                 report.measured_ber = Some(bit_error_rate(&coded, &result.bits));
                 let decoded = match self.config.token_coding {
-                    TokenCoding::Repetition(r) => repetition_decode(
-                        &result.bits,
-                        wearlock_auth::TOKEN_BITS,
-                        r,
-                    ),
+                    TokenCoding::Repetition(r) => {
+                        repetition_decode(&result.bits, wearlock_auth::TOKEN_BITS, r)
+                    }
                     TokenCoding::Convolutional => {
                         viterbi_decode(&result.bits, wearlock_auth::TOKEN_BITS).ok()
                     }
@@ -531,12 +531,7 @@ impl UnlockSession {
                 decoded
                     .as_deref()
                     .and_then(bits_to_token)
-                    .map(|t| {
-                        matches!(
-                            self.verifier.verify(t),
-                            VerifyOutcome::Accepted { .. }
-                        )
-                    })
+                    .map(|t| matches!(self.verifier.verify(t), VerifyOutcome::Accepted { .. }))
                     .unwrap_or(false)
             }
             Err(_) => false,
@@ -548,8 +543,9 @@ impl UnlockSession {
             report.outcome = Outcome::Unlocked(UnlockPath::Acoustic(mode));
         } else {
             let locked_out = self.lockout.record_failure();
-            self.keyguard
-                .handle(KeyguardEvent::AcousticUnlockFailed { lockout: locked_out });
+            self.keyguard.handle(KeyguardEvent::AcousticUnlockFailed {
+                lockout: locked_out,
+            });
             // Counter resync over the secure control channel (the paper
             // allows key/counter updates over Bluetooth at any time).
             self.verifier = TokenVerifier::new(
@@ -590,9 +586,7 @@ impl UnlockSession {
             total += report.total_delay.value();
             let stop = match report.outcome {
                 Outcome::Unlocked(_) => true,
-                Outcome::Denied(
-                    DenyReason::NoWirelessLink | DenyReason::LockedOut,
-                ) => true,
+                Outcome::Denied(DenyReason::NoWirelessLink | DenyReason::LockedOut) => true,
                 Outcome::Denied(_) => false,
             };
             attempts.push(report);
@@ -762,7 +756,10 @@ mod tests {
             // The resync in `attempt` replaces the verifier; re-sabotage.
             s.verifier = TokenVerifier::new(&b"wrong-key"[..], 0, 3);
         }
-        assert!(reasons.contains(&Outcome::Denied(DenyReason::LockedOut)), "{reasons:?}");
+        assert!(
+            reasons.contains(&Outcome::Denied(DenyReason::LockedOut)),
+            "{reasons:?}"
+        );
         // PIN recovers.
         s.enter_pin();
         assert!(!s.lockout().is_locked_out());

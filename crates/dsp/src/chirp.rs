@@ -50,7 +50,9 @@ impl Chirp {
         sample_rate: SampleRate,
     ) -> Result<Self, DspError> {
         if len == 0 {
-            return Err(DspError::InvalidParameter("chirp length must be >= 1".into()));
+            return Err(DspError::InvalidParameter(
+                "chirp length must be >= 1".into(),
+            ));
         }
         for f in [f_start, f_end] {
             if f.value() <= 0.0 {
@@ -172,7 +174,10 @@ mod tests {
             .filter(|(k, _)| (*k as f64 * bin_hz) < 10_000.0)
             .map(|(_, z)| z.norm_sq())
             .sum();
-        assert!(band_energy > 20.0 * low_energy, "band {band_energy} low {low_energy}");
+        assert!(
+            band_energy > 20.0 * low_energy,
+            "band {band_energy} low {low_energy}"
+        );
     }
 
     #[test]

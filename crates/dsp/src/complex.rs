@@ -211,6 +211,8 @@ impl Mul<Complex> for f64 {
 
 impl Div for Complex {
     type Output = Complex;
+    // Division by reciprocal multiplication: z/w = z * (1/w).
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()

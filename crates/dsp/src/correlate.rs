@@ -43,42 +43,20 @@ pub fn cross_correlate(signal: &[f64], template: &[f64]) -> Result<Vec<f64>, Dsp
         .collect())
 }
 
-/// Normalized cross-correlation: each lag's score is divided by
-/// `‖window‖·‖template‖`, yielding values in `[-1, 1]`.
+/// Per-lag normalization denominators `‖window‖·‖template‖` with the
+/// AGC-like energy floor, shared by the direct and FFT normalized
+/// correlators so both divide by *bitwise identical* values.
 ///
-/// WearLock compares the maximum normalized score against a threshold
-/// (0.05 in the paper's NLOS experiment) to decide whether a preamble is
-/// present at all.
+/// Pure per-window normalization is scale-invariant, which would let a
+/// window 80 dB below the recording's loudest content score like a
+/// perfect match (e.g. a filter's decay tail that happens to resemble
+/// the template). Gate the denominator at 60 dB below the loudest
+/// window — an AGC-like absolute-energy floor.
 ///
-/// # Errors
-///
-/// Same as [`cross_correlate`].
-pub fn normalized_cross_correlate(
-    signal: &[f64],
-    template: &[f64],
-) -> Result<Vec<f64>, DspError> {
-    if signal.is_empty() || template.is_empty() {
-        return Err(DspError::EmptyInput);
-    }
-    if template.len() > signal.len() {
-        return Err(DspError::LengthMismatch {
-            expected: template.len(),
-            actual: signal.len(),
-        });
-    }
-    let m = template.len();
-    let t_norm = template.iter().map(|x| x * x).sum::<f64>().sqrt();
-    if t_norm == 0.0 {
-        return Err(DspError::InvalidParameter(
-            "template has zero energy".into(),
-        ));
-    }
-
-    // Pure per-window normalization is scale-invariant, which would let
-    // a window 80 dB below the recording's loudest content score like a
-    // perfect match (e.g. a filter's decay tail that happens to
-    // resemble the template). Gate the denominator at 60 dB below the
-    // loudest window — an AGC-like absolute-energy floor.
+/// The rolling window energy gives O(n) normalization; the incremental
+/// update accumulates floating-point error, so recompute exactly every
+/// 1024 lags and clamp at zero.
+fn window_denominators(signal: &[f64], m: usize, t_norm: f64) -> Vec<f64> {
     let total_energy: f64 = signal.iter().map(|x| x * x).sum();
     let mut max_win = 0.0f64;
     {
@@ -91,29 +69,99 @@ pub fn normalized_cross_correlate(
     }
     let energy_floor = (max_win * 1e-6).max(total_energy * 1e-15);
 
-    // Rolling window energy for O(n) normalization; the incremental
-    // update accumulates floating-point error, so recompute exactly
-    // every 1024 lags and clamp at zero.
     let mut win_energy: f64 = signal[..m].iter().map(|x| x * x).sum();
     let mut out = Vec::with_capacity(signal.len() - m + 1);
     for i in 0..=signal.len() - m {
         if i % 1024 == 0 && i > 0 {
             win_energy = signal[i..i + m].iter().map(|x| x * x).sum();
         }
+        out.push(win_energy.max(energy_floor).sqrt() * t_norm);
+        if i + m < signal.len() {
+            win_energy =
+                (win_energy + signal[i + m] * signal[i + m] - signal[i] * signal[i]).max(0.0);
+        }
+    }
+    out
+}
+
+/// Validates the correlator inputs and returns `‖template‖`.
+fn check_inputs(signal: &[f64], template: &[f64]) -> Result<f64, DspError> {
+    if signal.is_empty() || template.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if template.len() > signal.len() {
+        return Err(DspError::LengthMismatch {
+            expected: template.len(),
+            actual: signal.len(),
+        });
+    }
+    let t_norm = template.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if t_norm == 0.0 {
+        return Err(DspError::InvalidParameter(
+            "template has zero energy".into(),
+        ));
+    }
+    Ok(t_norm)
+}
+
+/// Normalized cross-correlation: each lag's score is divided by
+/// `‖window‖·‖template‖`, yielding values in `[-1, 1]`.
+///
+/// WearLock compares the maximum normalized score against a threshold
+/// (0.05 in the paper's NLOS experiment) to decide whether a preamble is
+/// present at all.
+///
+/// # Errors
+///
+/// Same as [`cross_correlate`].
+pub fn normalized_cross_correlate(signal: &[f64], template: &[f64]) -> Result<Vec<f64>, DspError> {
+    let t_norm = check_inputs(signal, template)?;
+    let m = template.len();
+    let denoms = window_denominators(signal, m, t_norm);
+    let mut out = Vec::with_capacity(denoms.len());
+    for (i, &denom) in denoms.iter().enumerate() {
         let dot: f64 = signal[i..i + m]
             .iter()
             .zip(template)
             .map(|(a, b)| a * b)
             .sum();
-        let denom = win_energy.max(energy_floor).sqrt() * t_norm;
         out.push(if denom > 0.0 { dot / denom } else { 0.0 });
-        if i + m < signal.len() {
-            win_energy = (win_energy + signal[i + m] * signal[i + m]
-                - signal[i] * signal[i])
-                .max(0.0);
-        }
     }
     Ok(out)
+}
+
+/// FFT-accelerated normalized cross-correlation: the numerator comes
+/// from [`cross_correlate_fft`] (overlap–save) while the denominator is
+/// the *same* rolling-energy computation — same energy floor, same
+/// exact recompute cadence — as [`normalized_cross_correlate`], so the
+/// two differ only by the FFT's numerator roundoff.
+///
+/// For unit-scale audio the observed deviation stays below `1e-9` per
+/// lag (the dsp proptest suite enforces that bound); peak *offsets*
+/// chosen from these scores match the direct correlator's, which the
+/// modem regression tests lock down.
+///
+/// This is what the modem's preamble detector runs: preamble search
+/// over a second of 44.1 kHz audio with a 256-sample template is the
+/// single hottest kernel of an unlock, and overlap–save turns its
+/// `O(n·m)` scan into `O(n log m)`.
+///
+/// # Errors
+///
+/// Same as [`cross_correlate`].
+pub fn normalized_cross_correlate_fft(
+    signal: &[f64],
+    template: &[f64],
+) -> Result<Vec<f64>, DspError> {
+    let t_norm = check_inputs(signal, template)?;
+    let m = template.len();
+    let dots = cross_correlate_fft(signal, template)?;
+    let denoms = window_denominators(signal, m, t_norm);
+    Ok(dots
+        .iter()
+        .zip(&denoms)
+        .map(|(&dot, &denom)| if denom > 0.0 { dot / denom } else { 0.0 })
+        .collect())
 }
 
 /// FFT-accelerated raw cross-correlation (overlap–save): identical
@@ -174,11 +222,8 @@ pub fn cross_correlate_fft(signal: &[f64], template: &[f64]) -> Result<Vec<f64>,
             }
         }
         let spec = fft.forward(&block)?;
-        let prod: Vec<crate::complex::Complex> = spec
-            .iter()
-            .zip(&tpl_spec)
-            .map(|(a, b)| *a * *b)
-            .collect();
+        let prod: Vec<crate::complex::Complex> =
+            spec.iter().zip(&tpl_spec).map(|(a, b)| *a * *b).collect();
         let corr = fft.inverse(&prod)?;
         let valid = step.min(out_len - start);
         for i in 0..valid {
@@ -220,16 +265,16 @@ pub struct CorrelationPeak {
 /// ```
 pub fn find_peak(signal: &[f64], template: &[f64]) -> Result<CorrelationPeak, DspError> {
     let scores = normalized_cross_correlate(signal, template)?;
-    let (offset, score) = scores
-        .iter()
-        .enumerate()
-        .fold((0usize, f64::MIN), |(bi, bv), (i, &v)| {
+    let (offset, score) = scores.iter().enumerate().fold(
+        (0usize, f64::MIN),
+        |(bi, bv), (i, &v)| {
             if v > bv {
                 (i, v)
             } else {
                 (bi, bv)
             }
-        });
+        },
+    );
     Ok(CorrelationPeak { offset, score })
 }
 
@@ -356,6 +401,52 @@ mod tests {
         assert!(cross_correlate_fft(&[], &[1.0]).is_err());
         assert!(cross_correlate_fft(&[1.0], &[]).is_err());
         assert!(cross_correlate_fft(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn normalized_fft_matches_direct() {
+        let sig: Vec<f64> = (0..3_000)
+            .map(|i| (i as f64 * 0.11).sin() + 0.2 * (i as f64 * 0.53).cos())
+            .collect();
+        let tpl: Vec<f64> = (0..128).map(|i| (i as f64 * 0.23).sin()).collect();
+        let direct = normalized_cross_correlate(&sig, &tpl).unwrap();
+        let fast = normalized_cross_correlate_fft(&sig, &tpl).unwrap();
+        assert_eq!(direct.len(), fast.len());
+        for (a, b) in direct.iter().zip(&fast) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn normalized_fft_matches_direct_with_silence() {
+        // Long silent stretches exercise the energy floor: both paths
+        // must gate the same lags with the same denominators.
+        let tpl: Vec<f64> = (0..64).map(|i| (i as f64 * 0.4).sin()).collect();
+        let mut sig = vec![0.0; 4_096];
+        for (i, &t) in tpl.iter().enumerate() {
+            sig[2_000 + i] = t;
+        }
+        let direct = normalized_cross_correlate(&sig, &tpl).unwrap();
+        let fast = normalized_cross_correlate_fft(&sig, &tpl).unwrap();
+        for (a, b) in direct.iter().zip(&fast) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        // And both still find the clean peak.
+        let best = fast
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        assert_eq!(best.0, 2_000);
+        assert!(*best.1 > 0.99);
+    }
+
+    #[test]
+    fn normalized_fft_rejects_degenerate_inputs() {
+        assert!(normalized_cross_correlate_fft(&[], &[1.0]).is_err());
+        assert!(normalized_cross_correlate_fft(&[1.0], &[]).is_err());
+        assert!(normalized_cross_correlate_fft(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(normalized_cross_correlate_fft(&[0.0; 8], &[0.0; 4]).is_err());
     }
 
     #[test]

@@ -48,8 +48,12 @@ impl Fir {
     ///
     /// Returns [`DspError::InvalidParameter`] if `num_taps` is 0/even or
     /// the cutoff is outside `(0, Nyquist)`.
-    pub fn low_pass(cutoff: Hz, num_taps: usize, sample_rate: SampleRate) -> Result<Self, DspError> {
-        if num_taps == 0 || num_taps % 2 == 0 {
+    pub fn low_pass(
+        cutoff: Hz,
+        num_taps: usize,
+        sample_rate: SampleRate,
+    ) -> Result<Self, DspError> {
+        if num_taps == 0 || num_taps.is_multiple_of(2) {
             return Err(DspError::InvalidParameter(
                 "fir tap count must be odd and >= 1".into(),
             ));

@@ -79,7 +79,7 @@ pub fn fractional_delay(signal: &[f64], delay: f64) -> Vec<f64> {
 ///
 /// Returns an empty vector for an empty input or non-positive ratio.
 pub fn resample(signal: &[f64], ratio: f64) -> Vec<f64> {
-    if signal.is_empty() || !(ratio > 0.0) {
+    if signal.is_empty() || ratio <= 0.0 || ratio.is_nan() {
         return Vec::new();
     }
     let out_len = ((signal.len() as f64) * ratio).round() as usize;

@@ -199,7 +199,12 @@ mod tests {
         let avg = spec.average_power();
         let med = spec.median_power();
         // The mean sees the click; the median doesn't.
-        assert!(avg[35] > 10.0 * med[35].max(1e-12), "avg {} med {}", avg[35], med[35]);
+        assert!(
+            avg[35] > 10.0 * med[35].max(1e-12),
+            "avg {} med {}",
+            avg[35],
+            med[35]
+        );
     }
 
     #[test]
@@ -210,7 +215,9 @@ mod tests {
         assert_eq!(bands.len(), 16);
         // The band containing bin 10 (band 1 of 16 × 8-bin bands)
         // dominates.
-        let max_band = (0..16).max_by(|&a, &b| bands[a].total_cmp(&bands[b])).unwrap();
+        let max_band = (0..16)
+            .max_by(|&a, &b| bands[a].total_cmp(&bands[b]))
+            .unwrap();
         assert_eq!(max_band, 1);
     }
 

@@ -1,7 +1,7 @@
 //! Property-based tests for the DSP substrate.
 
 use proptest::prelude::*;
-use wearlock_dsp::correlate::normalized_cross_correlate;
+use wearlock_dsp::correlate::{normalized_cross_correlate, normalized_cross_correlate_fft};
 use wearlock_dsp::level::rms;
 use wearlock_dsp::resample::fractional_delay;
 use wearlock_dsp::stats::{mean, pearson, percentile, variance};
@@ -93,6 +93,51 @@ proptest! {
         prop_assume!(e > 1e-6);
         let scores = normalized_cross_correlate(&sig, &sig).unwrap();
         prop_assert!((scores[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_fft_matches_direct_correlator(
+        pair in (16usize..512).prop_flat_map(|n| (
+            prop::collection::vec(-1.0f64..1.0, n),
+            1usize..16,
+        )),
+    ) {
+        // The FFT path shares the direct path's denominators bitwise;
+        // only the numerator carries overlap–save roundoff, so the
+        // scores must agree to 1e-9 for unit-scale signals.
+        let (sig, tpl_len) = pair;
+        prop_assume!(tpl_len <= sig.len());
+        let template: Vec<f64> = (0..tpl_len)
+            .map(|i| ((i * 29) as f64 * 0.43).sin() + 0.05)
+            .collect();
+        let direct = normalized_cross_correlate(&sig, &template).unwrap();
+        let fast = normalized_cross_correlate_fft(&sig, &template).unwrap();
+        prop_assert_eq!(direct.len(), fast.len());
+        for (a, b) in direct.iter().zip(&fast) {
+            prop_assert!((a - b).abs() < 1e-9, "direct {} vs fft {}", a, b);
+        }
+    }
+
+    #[test]
+    fn normalized_fft_peak_matches_direct_peak(sig in finite_signal(300)) {
+        // The demodulator picks argmax over these scores: the FFT
+        // correlator must select the same offset the direct one does.
+        prop_assume!(sig.len() >= 32);
+        let template: Vec<f64> = (0..16).map(|i| (i as f64 * 0.8).sin() + 0.1).collect();
+        let direct = normalized_cross_correlate(&sig, &template).unwrap();
+        let fast = normalized_cross_correlate_fft(&sig, &template).unwrap();
+        let argmax = |v: &[f64]| {
+            v.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap()
+        };
+        // Ties between near-equal scores may break differently within
+        // the 1e-9 tolerance; accept any offset whose direct score is
+        // within that bound of the true peak.
+        let best_direct = direct[argmax(&direct)];
+        prop_assert!((direct[argmax(&fast)] - best_direct).abs() < 1e-9);
     }
 
     #[test]

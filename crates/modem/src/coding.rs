@@ -89,8 +89,8 @@ pub fn viterbi_decode(coded: &[bool], n_bits: usize) -> Result<Vec<bool>, ModemE
         let r2 = coded[2 * t + 1];
         let mut next = vec![INF; STATES];
         let mut surv = [(0u8, false); STATES];
-        for s in 0..STATES {
-            if metric[s] == INF {
+        for (s, &m0) in metric.iter().enumerate() {
+            if m0 == INF {
                 continue;
             }
             for b in [false, true] {
@@ -99,7 +99,7 @@ pub fn viterbi_decode(coded: &[bool], n_bits: usize) -> Result<Vec<bool>, ModemE
                 let o2 = parity(reg & G2);
                 let cost = (o1 != r1) as u32 + (o2 != r2) as u32;
                 let ns = (reg >> 1) as usize;
-                let m = metric[s] + cost;
+                let m = m0 + cost;
                 if m < next[ns] {
                     next[ns] = m;
                     surv[ns] = (s as u8, b);
@@ -191,8 +191,8 @@ mod tests {
     fn corrects_a_short_burst() {
         let d = data(64);
         let mut c = conv_encode(&d);
-        for i in 40..43 {
-            c[i] = !c[i];
+        for b in &mut c[40..43] {
+            *b = !*b;
         }
         assert_eq!(viterbi_decode(&c, 64).unwrap(), d);
     }

@@ -453,7 +453,7 @@ mod tests {
         // active, 9 nulls.
         assert_eq!(nulls.len(), 9);
         assert!(nulls.contains(&8));
-        assert!(nulls.contains(&19) == false);
+        assert!(!nulls.contains(&19));
     }
 
     #[test]
@@ -472,10 +472,7 @@ mod tests {
         assert!(OfdmConfig::builder().cp_len(0).build().is_err());
         assert!(OfdmConfig::builder().cp_len(256).build().is_err());
         assert!(OfdmConfig::builder().preamble_len(0).build().is_err());
-        assert!(OfdmConfig::builder()
-            .data_channels(vec![])
-            .build()
-            .is_err());
+        assert!(OfdmConfig::builder().data_channels(vec![]).build().is_err());
         assert!(OfdmConfig::builder()
             .data_channels(vec![7])
             .build()

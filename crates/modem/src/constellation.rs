@@ -220,10 +220,7 @@ pub fn map_bits(modulation: Modulation, bits: &[bool]) -> Vec<Complex> {
 /// De-maps symbols back to a bit vector (length `symbols × bps`; the
 /// caller truncates any padding).
 pub fn demap_symbols(modulation: Modulation, symbols: &[Complex]) -> Vec<bool> {
-    symbols
-        .iter()
-        .flat_map(|&s| modulation.demap(s))
-        .collect()
+    symbols.iter().flat_map(|&s| modulation.demap(s)).collect()
 }
 
 #[cfg(test)]

@@ -34,7 +34,10 @@ impl fmt::Display for ModemError {
             ModemError::InvalidConfig(msg) => write!(f, "invalid modem config: {msg}"),
             ModemError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             ModemError::SignalNotFound { best_score } => {
-                write!(f, "no signal detected (best preamble score {best_score:.4})")
+                write!(
+                    f,
+                    "no signal detected (best preamble score {best_score:.4})"
+                )
             }
             ModemError::TruncatedSignal {
                 blocks_decoded,

@@ -118,7 +118,7 @@ impl OfdmModulator {
 
         let mut out = Vec::new();
         out.extend_from_slice(&self.preamble);
-        out.extend(std::iter::repeat(0.0).take(self.config.post_preamble_guard()));
+        out.extend(std::iter::repeat_n(0.0, self.config.post_preamble_guard()));
         for chunk in symbols.chunks(per_block) {
             out.extend(self.build_block(chunk)?);
         }
@@ -136,7 +136,7 @@ impl OfdmModulator {
         let ones = vec![Complex::ONE; self.config.data_channels().len()];
         let mut out = Vec::new();
         out.extend_from_slice(&self.preamble);
-        out.extend(std::iter::repeat(0.0).take(self.config.post_preamble_guard()));
+        out.extend(std::iter::repeat_n(0.0, self.config.post_preamble_guard()));
         for _ in 0..pilot_blocks {
             out.extend(self.build_block(&ones)?);
         }
@@ -161,9 +161,9 @@ const BLOCK_TARGET_RMS: f64 = 0.35;
 /// untouched so the last block's cyclic-prefix structure stays intact.
 fn fade_in(signal: &mut [f64], n: usize) {
     let n = n.min(signal.len());
-    for i in 0..n {
+    for (i, s) in signal.iter_mut().enumerate().take(n) {
         let g = 0.5 - 0.5 * (std::f64::consts::PI * i as f64 / n as f64).cos();
-        signal[i] *= g;
+        *s *= g;
     }
 }
 

@@ -54,8 +54,16 @@ fn close_range_quiet_room_is_error_free() {
         .unwrap();
     let mut rng = StdRng::seed_from_u64(100);
     let bits = payload(96);
-    let ber = ber_through(&link, &tx, &rx, Modulation::Qpsk, Spl(72.0), &bits, &mut rng)
-        .expect("signal must be detected at 15 cm");
+    let ber = ber_through(
+        &link,
+        &tx,
+        &rx,
+        Modulation::Qpsk,
+        Spl(72.0),
+        &bits,
+        &mut rng,
+    )
+    .expect("signal must be detected at 15 cm");
     assert!(ber < 0.08, "ber {ber}");
 }
 
@@ -75,9 +83,16 @@ fn ber_grows_with_distance() {
         let mut total = 0.0;
         let trials = 3;
         for _ in 0..trials {
-            let ber =
-                ber_through(&link, &tx, &rx, Modulation::Psk8, Spl(68.0), &bits, &mut rng)
-                    .unwrap_or(0.5);
+            let ber = ber_through(
+                &link,
+                &tx,
+                &rx,
+                Modulation::Psk8,
+                Spl(68.0),
+                &bits,
+                &mut rng,
+            )
+            .unwrap_or(0.5);
             total += ber;
         }
         bers.push(total / trials as f64);
@@ -98,8 +113,7 @@ fn phase_ripple_floors_psk_but_not_ask() {
     use rand::Rng;
     let (tx, rx) = pair();
     let mut rng = StdRng::seed_from_u64(102);
-    let speaker = SpeakerModel::smartphone()
-        .with_ringing(wearlock_dsp::units::Seconds(0.0));
+    let speaker = SpeakerModel::smartphone().with_ringing(wearlock_dsp::units::Seconds(0.0));
     let ch = AwgnChannel::new(Db(60.0));
     let mut bers = Vec::new();
     for m in [Modulation::Qask, Modulation::Qpsk, Modulation::Psk8] {
@@ -119,8 +133,14 @@ fn phase_ripple_floors_psk_but_not_ask() {
         bers.push(total / trials as f64);
     }
     let (qask, qpsk, psk8) = (bers[0], bers[1], bers[2]);
-    assert!(psk8 > qpsk, "8psk ({psk8}) should floor above qpsk ({qpsk})");
-    assert!(psk8 > qask, "8psk ({psk8}) should floor above qask ({qask})");
+    assert!(
+        psk8 > qpsk,
+        "8psk ({psk8}) should floor above qpsk ({qpsk})"
+    );
+    assert!(
+        psk8 > qask,
+        "8psk ({psk8}) should floor above qask ({qask})"
+    );
     assert!(psk8 > 0.005, "8psk floor missing: {psk8}");
     assert!(qask < 0.02, "qask should be nearly clean at 45 dB: {qask}");
 }
@@ -144,15 +164,18 @@ fn body_blocking_wrecks_the_link_or_flags_nlos() {
     let wave = tx.modulate(&bits, Modulation::Qpsk).unwrap();
 
     let los_sync = rx
-        .demodulate(&los.transmit(&wave, Spl(72.0), &mut rng), Modulation::Qpsk, 96)
+        .demodulate(
+            &los.transmit(&wave, Spl(72.0), &mut rng),
+            Modulation::Qpsk,
+            96,
+        )
         .unwrap();
     let nlos_rec = link.transmit(&wave, Spl(72.0), &mut rng);
     match rx.demodulate(&nlos_rec, Modulation::Qpsk, 96) {
         Err(_) => {} // not even detected: fine, channel is dead
         Ok(r) => {
             let ber = bit_error_rate(&bits, &r.bits);
-            let spread_ratio = r.sync.rms_delay_spread
-                / los_sync.sync.rms_delay_spread.max(1e-9);
+            let spread_ratio = r.sync.rms_delay_spread / los_sync.sync.rms_delay_spread.max(1e-9);
             assert!(
                 ber > 0.05 || spread_ratio > 3.0 || r.sync.preamble_score < 0.5,
                 "blocked path neither errored (ber {ber}) nor flagged \
@@ -267,10 +290,7 @@ fn jammed_tone_raises_ber_until_subchannels_move() {
     let jam = NoiseModel::Mixture(vec![
         NoiseModel::White { spl: Spl(20.0) },
         NoiseModel::Tones {
-            freqs: jam_bins
-                .iter()
-                .map(|&k| cfg.channel_frequency(k))
-                .collect(),
+            freqs: jam_bins.iter().map(|&k| cfg.channel_frequency(k)).collect(),
             spl: Spl(58.0),
         },
     ]);
@@ -303,7 +323,11 @@ fn jammed_tone_raises_ber_until_subchannels_move() {
     let cfg2 = apply_selection(&cfg, &sel).unwrap();
     let tx2 = OfdmModulator::new(cfg2.clone()).unwrap();
     let rx2 = OfdmDemodulator::new(cfg2).unwrap();
-    let rec2 = link.transmit(&tx2.modulate(&bits, Modulation::Qpsk).unwrap(), Spl(70.0), &mut rng);
+    let rec2 = link.transmit(
+        &tx2.modulate(&bits, Modulation::Qpsk).unwrap(),
+        Spl(70.0),
+        &mut rng,
+    );
     let ber_selected = rx2
         .demodulate(&rec2, Modulation::Qpsk, bits.len())
         .map(|r| bit_error_rate(&bits, &r.bits))
@@ -329,7 +353,15 @@ fn speaker_hardware_chain_preserves_decodability() {
         .noise(Location::QuietRoom.noise_model())
         .build()
         .unwrap();
-    let ber = ber_through(&link, &tx, &rx, Modulation::Qask, Spl(70.0), &bits, &mut rng)
-        .expect("detected");
+    let ber = ber_through(
+        &link,
+        &tx,
+        &rx,
+        Modulation::Qask,
+        Spl(70.0),
+        &bits,
+        &mut rng,
+    )
+    .expect("detected");
     assert!(ber < 0.08, "ber {ber}");
 }

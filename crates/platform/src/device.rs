@@ -251,7 +251,10 @@ mod tests {
             signal_len: 20_000,
             template_len: 256,
         };
-        let fft = Workload::Fft { size: 256, count: 10 };
+        let fft = Workload::Fft {
+            size: 256,
+            count: 10,
+        };
         assert!(xcorr.effective_ops() > 50.0 * fft.effective_ops());
     }
 

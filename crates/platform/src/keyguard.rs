@@ -114,7 +114,10 @@ mod tests {
     #[test]
     fn unlock_and_relock_cycle() {
         let mut kg = Keyguard::new();
-        assert_eq!(kg.handle(KeyguardEvent::AcousticUnlockVerified), LockState::Unlocked);
+        assert_eq!(
+            kg.handle(KeyguardEvent::AcousticUnlockVerified),
+            LockState::Unlocked
+        );
         assert_eq!(kg.handle(KeyguardEvent::ScreenOff), LockState::Locked);
         assert_eq!(kg.unlock_count(), 1);
     }

@@ -175,7 +175,9 @@ mod tests {
     fn jitter_is_positive_and_centred() {
         let link = WirelessLink::wifi();
         let mut r = rng();
-        let xs: Vec<f64> = (0..500).map(|_| link.message_delay(&mut r).value()).collect();
+        let xs: Vec<f64> = (0..500)
+            .map(|_| link.message_delay(&mut r).value())
+            .collect();
         assert!(xs.iter().all(|&x| x > 0.0));
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         assert!((mean / 0.015 - 1.0).abs() < 0.2, "mean {mean}");
@@ -185,7 +187,10 @@ mod tests {
     fn round_trip_is_two_messages() {
         let link = WirelessLink::bluetooth();
         let mut r = rng();
-        let rtt: f64 = (0..300).map(|_| link.round_trip(&mut r).value()).sum::<f64>() / 300.0;
+        let rtt: f64 = (0..300)
+            .map(|_| link.round_trip(&mut r).value())
+            .sum::<f64>()
+            / 300.0;
         assert!((rtt / 0.12 - 1.0).abs() < 0.25, "rtt {rtt}");
     }
 

@@ -149,8 +149,8 @@ fn synthesize_with<R: Rng + ?Sized>(
             let t = n as f64 + device_lag;
             // Fundamental + second harmonic (heel strike), projected on
             // the device's mounting orientation, plus gravity on z.
-            let osc = amp
-                * ((w * t + gait.phase).sin() + 0.45 * (2.0 * w * t + 2.3 + gait.phase).sin());
+            let osc =
+                amp * ((w * t + gait.phase).sin() + 0.45 * (2.0 * w * t + 2.3 + gait.phase).sin());
             [
                 gait.orientation[0] * osc + noise * randn(rng),
                 gait.orientation[1] * osc + noise * randn(rng),
@@ -246,8 +246,7 @@ mod tests {
         let mut r = rng();
         let (p, w) = synthesize_pair(Activity::Walking, 150, &mut r);
         let rho_same = pearson(&p.magnitude(), &w.magnitude()).abs();
-        let (p2, w2) =
-            synthesize_different_pair(Activity::Walking, Activity::Running, 150, &mut r);
+        let (p2, w2) = synthesize_different_pair(Activity::Walking, Activity::Running, 150, &mut r);
         let rho_diff = pearson(&p2.magnitude(), &w2.magnitude()).abs();
         // Same-body pair shares structure (even before DTW alignment).
         assert!(rho_same > 0.25, "rho_same {rho_same}");
@@ -262,18 +261,12 @@ mod tests {
         let centred: Vec<f64> = m.iter().map(|x| x - mean).collect();
         // Goertzel at the gait frequency (1.8 Hz at 50 Hz rate).
         let sr = wearlock_dsp::units::SampleRate::new(ACCEL_RATE_HZ);
-        let at_gait = wearlock_dsp::goertzel::goertzel_power(
-            &centred,
-            wearlock_dsp::units::Hz(1.8),
-            sr,
-        )
-        .unwrap();
-        let off = wearlock_dsp::goertzel::goertzel_power(
-            &centred,
-            wearlock_dsp::units::Hz(7.0),
-            sr,
-        )
-        .unwrap();
+        let at_gait =
+            wearlock_dsp::goertzel::goertzel_power(&centred, wearlock_dsp::units::Hz(1.8), sr)
+                .unwrap();
+        let off =
+            wearlock_dsp::goertzel::goertzel_power(&centred, wearlock_dsp::units::Hz(7.0), sr)
+                .unwrap();
         assert!(at_gait > 3.0 * off, "gait {at_gait} off {off}");
     }
 

@@ -135,7 +135,9 @@ mod tests {
     fn shifted_series_score_near_zero() {
         // DTW's whole point: a time shift costs little.
         let a: Vec<f64> = (0..120).map(|i| 10.0 + (i as f64 * 0.2).sin()).collect();
-        let b: Vec<f64> = (0..120).map(|i| 10.0 + ((i + 5) as f64 * 0.2).sin()).collect();
+        let b: Vec<f64> = (0..120)
+            .map(|i| 10.0 + ((i + 5) as f64 * 0.2).sin())
+            .collect();
         let aligned = dtw_score(&a, &b);
         // Compare against the rigid (no-warp) distance in the same
         // root-mean-square metric.
@@ -152,7 +154,9 @@ mod tests {
     #[test]
     fn different_shapes_score_high() {
         // Big swing vs small independent wobble around the same mean.
-        let a: Vec<f64> = (0..100).map(|i| 10.0 + 4.0 * (i as f64 * 0.25).sin()).collect();
+        let a: Vec<f64> = (0..100)
+            .map(|i| 10.0 + 4.0 * (i as f64 * 0.25).sin())
+            .collect();
         let mut state = 9u64;
         let b: Vec<f64> = (0..100)
             .map(|_| {
@@ -214,8 +218,12 @@ mod tests {
     fn flat_series_score_near_zero() {
         // Two still devices: tiny independent tremor on a gravity
         // baseline must score close to zero (Table II sitting ≈ 0.05).
-        let a: Vec<f64> = (0..100).map(|i| 9.81 + 0.05 * ((i * 7) as f64).sin()).collect();
-        let b: Vec<f64> = (0..100).map(|i| 9.81 + 0.05 * ((i * 13) as f64).cos()).collect();
+        let a: Vec<f64> = (0..100)
+            .map(|i| 9.81 + 0.05 * ((i * 7) as f64).sin())
+            .collect();
+        let b: Vec<f64> = (0..100)
+            .map(|i| 9.81 + 0.05 * ((i * 13) as f64).cos())
+            .collect();
         assert!(dtw_score(&a, &b) < 0.05, "{}", dtw_score(&a, &b));
     }
 

@@ -64,10 +64,38 @@ fn main() -> Result<(), wearlock::WearLockError> {
 
     println!("== 4. Relay attack (the acknowledged limitation) ==");
     let cases = [
-        ("ideal relay, no fingerprinting", RelayAttack { extra_delay_s: 0.05, relay_evm: 0.005 }, None),
-        ("ideal relay + fingerprinting", RelayAttack { extra_delay_s: 0.05, relay_evm: 0.005 }, Some(0.002)),
-        ("cheap relay + fingerprinting", RelayAttack { extra_delay_s: 0.05, relay_evm: 0.15 }, Some(0.05)),
-        ("slow relay", RelayAttack { extra_delay_s: 0.6, relay_evm: 0.0 }, None),
+        (
+            "ideal relay, no fingerprinting",
+            RelayAttack {
+                extra_delay_s: 0.05,
+                relay_evm: 0.005,
+            },
+            None,
+        ),
+        (
+            "ideal relay + fingerprinting",
+            RelayAttack {
+                extra_delay_s: 0.05,
+                relay_evm: 0.005,
+            },
+            Some(0.002),
+        ),
+        (
+            "cheap relay + fingerprinting",
+            RelayAttack {
+                extra_delay_s: 0.05,
+                relay_evm: 0.15,
+            },
+            Some(0.05),
+        ),
+        (
+            "slow relay",
+            RelayAttack {
+                extra_delay_s: 0.6,
+                relay_evm: 0.0,
+            },
+            None,
+        ),
     ];
     for (desc, attack, fp) in cases {
         let out = relay_attack(&config, attack, fp);

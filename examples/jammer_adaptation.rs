@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             NoiseModel::White { spl: Spl(20.0) },
             NoiseModel::Tones {
                 freqs: jammed.iter().map(|&k| cfg.channel_frequency(k)).collect(),
-                spl: if jammed.is_empty() { Spl(-100.0) } else { Spl(58.0) },
+                spl: if jammed.is_empty() {
+                    Spl(-100.0)
+                } else {
+                    Spl(58.0)
+                },
             },
         ]);
         let link = AcousticLink::builder()
@@ -50,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Fixed assignment.
         let tx = OfdmModulator::new(cfg.clone())?;
         let rx = OfdmDemodulator::new(cfg.clone())?;
-        let rec = link.transmit(&tx.modulate(&payload, Modulation::Qpsk)?, Spl(68.0), &mut rng);
+        let rec = link.transmit(
+            &tx.modulate(&payload, Modulation::Qpsk)?,
+            Spl(68.0),
+            &mut rng,
+        );
         let fixed = rx
             .demodulate(&rec, Modulation::Qpsk, payload.len())
             .map(|r| bit_error_rate(&payload, &r.bits))
@@ -64,8 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let cfg2 = apply_selection(&cfg, &sel)?;
                 let tx2 = OfdmModulator::new(cfg2.clone())?;
                 let rx2 = OfdmDemodulator::new(cfg2)?;
-                let rec2 =
-                    link.transmit(&tx2.modulate(&payload, Modulation::Qpsk)?, Spl(68.0), &mut rng);
+                let rec2 = link.transmit(
+                    &tx2.modulate(&payload, Modulation::Qpsk)?,
+                    Spl(68.0),
+                    &mut rng,
+                );
                 rx2.demodulate(&rec2, Modulation::Qpsk, payload.len())
                     .map(|r| bit_error_rate(&payload, &r.bits))
                     .unwrap_or(0.5)

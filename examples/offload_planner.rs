@@ -28,7 +28,10 @@ fn main() {
             signal_len: audio_samples,
             template_len: 256,
         },
-        Workload::Fft { size: 256, count: 10 },
+        Workload::Fft {
+            size: 256,
+            count: 10,
+        },
         Workload::OfdmDemod {
             blocks: 7,
             fft_size: 256,
@@ -78,7 +81,8 @@ fn main() {
         }
     }
 
-    println!("\nwatch battery: {} Wh — one local unlock costs {:.4}% of it",
+    println!(
+        "\nwatch battery: {} Wh — one local unlock costs {:.4}% of it",
         watch.battery_wh(),
         watch.battery_fraction(local.watch_energy_j) * 100.0
     );

@@ -83,7 +83,10 @@ fn main() -> Result<(), wearlock::WearLockError> {
             }
             Outcome::Denied(reason) => format!("locked    ({reason:?})"),
         };
-        println!("{label:58} -> {verdict}   [{:.0} ms]", report.total_delay.value() * 1e3);
+        println!(
+            "{label:58} -> {verdict}   [{:.0} ms]",
+            report.total_delay.value() * 1e3
+        );
         session.enter_pin(); // observer resets policy state between scenes
     }
 

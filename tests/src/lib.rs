@@ -7,6 +7,7 @@ use rand::SeedableRng;
 use wearlock::config::WearLockConfig;
 use wearlock::environment::Environment;
 use wearlock::session::UnlockSession;
+use wearlock_runtime::SweepRunner;
 
 /// A seeded RNG for reproducible scenarios.
 pub fn rng(seed: u64) -> StdRng {
@@ -18,17 +19,20 @@ pub fn default_session() -> UnlockSession {
     UnlockSession::new(WearLockConfig::default()).expect("default config is valid")
 }
 
-/// Runs `n` attempts in `env` on a fresh default session, returning the
-/// number of unlocks (lockout reset between attempts).
+/// Runs `n` independent attempts in `env` and returns the unlock rate.
+///
+/// Attempts fan out over `runner`; attempt `i` runs on a fresh default
+/// session with the RNG derived from `(seed, i)`, so the rate is
+/// identical for any worker count.
+pub fn unlock_rate_on(env: &Environment, n: usize, seed: u64, runner: &SweepRunner) -> f64 {
+    let unlocks = runner.run(n, seed, |_, r| {
+        let mut session = default_session();
+        usize::from(session.attempt(env, r).outcome.unlocked())
+    });
+    unlocks.iter().sum::<usize>() as f64 / n as f64
+}
+
+/// [`unlock_rate_on`] with one worker per CPU.
 pub fn unlock_rate(env: &Environment, n: usize, seed: u64) -> f64 {
-    let mut session = default_session();
-    let mut r = rng(seed);
-    let mut unlocked = 0;
-    for _ in 0..n {
-        if session.attempt(env, &mut r).outcome.unlocked() {
-            unlocked += 1;
-        }
-        session.enter_pin();
-    }
-    unlocked as f64 / n as f64
+    unlock_rate_on(env, n, seed, &SweepRunner::default())
 }

@@ -74,7 +74,11 @@ fn all_named_configs_unlock() {
         let mut session = UnlockSession::new(config).unwrap();
         let mut ok = 0;
         for _ in 0..4 {
-            if session.attempt(&Environment::default(), &mut r).outcome.unlocked() {
+            if session
+                .attempt(&Environment::default(), &mut r)
+                .outcome
+                .unlocked()
+            {
                 ok += 1;
             }
             session.enter_pin();
@@ -159,9 +163,8 @@ fn subchannel_selection_changes_channels_under_jamming() {
     let rx = wearlock_modem::OfdmDemodulator::new(modem.clone()).unwrap();
     let probe_rec = link.transmit(&tx.probe(2).unwrap(), Spl(68.0), &mut r);
     let report = rx.analyze_probe(&probe_rec).unwrap();
-    let sel =
-        wearlock_modem::subchannel::select_data_channels(&modem, &report.noise_spectrum, 12)
-            .unwrap();
+    let sel = wearlock_modem::subchannel::select_data_channels(&modem, &report.noise_spectrum, 12)
+        .unwrap();
     for j in jammed {
         assert!(
             !sel.data_channels.contains(&j),

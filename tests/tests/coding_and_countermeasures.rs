@@ -20,7 +20,11 @@ fn session_unlocks_with_convolutional_coding() {
     let mut r = rng(300);
     let mut ok = 0;
     for _ in 0..6 {
-        if session.attempt(&Environment::default(), &mut r).outcome.unlocked() {
+        if session
+            .attempt(&Environment::default(), &mut r)
+            .outcome
+            .unlocked()
+        {
             ok += 1;
         }
         session.enter_pin();
@@ -72,7 +76,10 @@ fn repetition_and_conv_both_beat_uncoded_on_noisy_channel() {
         let wave = tx.modulate(&coded, Modulation::Qpsk).unwrap();
         let rec = ch.transmit(&wave, &mut r);
         if let Ok(out) = rx.demodulate(&rec, Modulation::Qpsk, coded.len()) {
-            if viterbi_decode(&out.bits, 32).map(|d| d == bits).unwrap_or(false) {
+            if viterbi_decode(&out.bits, 32)
+                .map(|d| d == bits)
+                .unwrap_or(false)
+            {
                 conv_ok += 1;
             }
         }
@@ -160,7 +167,10 @@ fn fingerprint_rejects_foreign_speaker_through_session_probes() {
     };
 
     let enrolled = FingerprintVerifier::enroll(
-        &[probe(SpeakerModel::smartphone(), &mut r), probe(SpeakerModel::smartphone(), &mut r)],
+        &[
+            probe(SpeakerModel::smartphone(), &mut r),
+            probe(SpeakerModel::smartphone(), &mut r),
+        ],
         &modem_cfg,
         0.3,
     )

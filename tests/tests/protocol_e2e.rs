@@ -17,11 +17,7 @@ fn benign_unlock_succeeds_reliably() {
 
 #[test]
 fn unlock_rate_collapses_with_distance() {
-    let near = unlock_rate(
-        &Environment::builder().distance(Meters(0.3)).build(),
-        8,
-        2,
-    );
+    let near = unlock_rate(&Environment::builder().distance(Meters(0.3)).build(), 8, 2);
     let far = unlock_rate(&Environment::builder().distance(Meters(3.5)).build(), 8, 3);
     assert!(near > 0.7, "near {near}");
     assert!(far < 0.3, "far {far}");
@@ -38,7 +34,11 @@ fn every_location_supports_close_range_unlocks() {
         // The loudest environment pins the speaker at its volume
         // ceiling; per-attempt success drops there (users retry, per
         // the case study).
-        let floor = if *loc == Location::GroceryStore { 0.33 } else { 0.5 };
+        let floor = if *loc == Location::GroceryStore {
+            0.33
+        } else {
+            0.5
+        };
         assert!(rate >= floor, "{loc}: rate {rate}");
     }
 }
@@ -121,9 +121,7 @@ fn walking_together_uses_motion_skip_and_saves_audio() {
     for _ in 0..10 {
         let rep = session.attempt(&env, &mut r);
         match rep.outcome {
-            Outcome::Unlocked(UnlockPath::MotionSkip) => {
-                skip_delays.push(rep.total_delay.value())
-            }
+            Outcome::Unlocked(UnlockPath::MotionSkip) => skip_delays.push(rep.total_delay.value()),
             Outcome::Unlocked(UnlockPath::Acoustic(_)) => {
                 acoustic_delays.push(rep.total_delay.value())
             }

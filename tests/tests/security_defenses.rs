@@ -2,8 +2,8 @@
 //! against the full stack.
 
 use wearlock::attacks::{
-    brute_force, intercept_at_distance, record_and_replay, relay_attack, RelayAttack,
-    RelayOutcome, ReplayOutcome,
+    brute_force, intercept_at_distance, record_and_replay, relay_attack, RelayAttack, RelayOutcome,
+    ReplayOutcome,
 };
 use wearlock::config::WearLockConfig;
 use wearlock_acoustics::noise::Location;

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `criterion` benchmark harness, implementing
+//! the subset WearLock's benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Sampling model: each benchmark warms up once, then runs
+//! doubling batches until the measurement budget is spent, reporting
+//! mean ns/iter to stdout. The budget is 200 ms per benchmark when the
+//! binary is invoked with `--bench` (i.e. under `cargo bench`) and a
+//! single measured iteration otherwise, so accidentally executing bench
+//! binaries in a test run stays cheap. `WEARLOCK_BENCH_MS` overrides
+//! the budget in milliseconds.
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How [`Bencher::iter_batched`] amortizes setup; the stub runs one
+/// setup per measured call regardless, so the variants only document
+/// intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Collects timing for one benchmark.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Benchmarks `f` called back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.total += start.elapsed();
+            self.iters += batch;
+            if self.total >= self.budget {
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+    }
+
+    /// Benchmarks `f` on fresh inputs from `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut f: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std::hint::black_box(f(setup())); // warm-up
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(f(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+            if self.total >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        let default_ms = if bench_mode { 200 } else { 0 };
+        let ms = std::env::var("WEARLOCK_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_ms);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            budget: self.budget,
+            ..Bencher::default()
+        };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.total.as_secs_f64() * 1e9 / b.iters as f64
+        };
+        println!("{id:<40} {mean_ns:>14.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Declares a group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion {
+            budget: Duration::from_millis(0),
+        };
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| calls += 1);
+        });
+        assert!(calls >= 2); // warm-up + at least one measured call
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut b = Bencher::default();
+        let mut setups = 0u32;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert!(setups >= 2);
+        assert!(b.iters >= 1);
+    }
+}

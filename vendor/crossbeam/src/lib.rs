@@ -1,0 +1,7 @@
+//! Offline stand-in for the `crossbeam` crate, implementing the
+//! [`channel`] subset WearLock uses: multi-producer/multi-consumer
+//! bounded and unbounded channels with blocking, timeout, and
+//! disconnect semantics.
+#![forbid(unsafe_code)]
+
+pub mod channel;

@@ -1,0 +1,40 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::{Rng, StandardSample};
+
+use crate::strategy::{Any, Strategy};
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: StandardSample + Debug {}
+
+impl Arbitrary for bool {}
+impl Arbitrary for u8 {}
+impl Arbitrary for u16 {}
+impl Arbitrary for u32 {}
+impl Arbitrary for u64 {}
+impl Arbitrary for usize {}
+impl Arbitrary for i8 {}
+impl Arbitrary for i16 {}
+impl Arbitrary for i32 {}
+impl Arbitrary for i64 {}
+impl Arbitrary for isize {}
+impl Arbitrary for f64 {}
+impl Arbitrary for f32 {}
+
+/// The strategy generating any value of `T` (uniform over the domain;
+/// floats draw from `[0, 1)` as with the vendored `rand`'s standard
+/// distribution).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        rng.gen()
+    }
+}

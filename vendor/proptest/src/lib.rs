@@ -1,0 +1,165 @@
+//! Offline stand-in for the `proptest` crate, implementing the subset
+//! of its API that WearLock's property tests use: the [`proptest!`]
+//! macro, range/collection/sample strategies, `prop_map`/
+//! `prop_flat_map`, `any::<T>()`, and the `prop_assert*`/`prop_assume!`
+//! macros.
+//!
+//! Differences from upstream:
+//! - **No shrinking.** A failing case reports its inputs and the
+//!   deterministic per-case seed instead of a minimized example.
+//! - **Deterministic by construction.** Case `i` of test `t` draws from
+//!   `StdRng::seed_from_u64(fnv1a(t) ^ i)`, so failures reproduce
+//!   exactly across runs and machines with no regression files.
+//! - `proptest-regressions` files are ignored.
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-imported surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespaced strategy constructors (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __pt_config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run(
+                __pt_config,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__pt_rng| {
+                    let mut __pt_inputs = String::new();
+                    $(
+                        let __pt_value =
+                            $crate::strategy::Strategy::new_value(&($strat), __pt_rng);
+                        {
+                            use ::std::fmt::Write as _;
+                            let _ = ::std::write!(
+                                __pt_inputs,
+                                "\n    {} = {:?}",
+                                stringify!($arg),
+                                &__pt_value
+                            );
+                        }
+                        let $arg = __pt_value;
+                    )+
+                    let __pt_result = (|| -> $crate::test_runner::TestCaseResult {
+                        $body
+                        Ok(())
+                    })();
+                    match __pt_result {
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            Err($crate::test_runner::TestCaseError::Fail(format!(
+                                "{msg}\n  inputs:{__pt_inputs}"
+                            )))
+                        }
+                        other => other,
+                    }
+                },
+            );
+        }
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case with
+/// the generated inputs attached.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n  right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            l,
+            r
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            l
+        );
+    }};
+}
+
+/// Discards the current case (regenerates fresh inputs) when an input
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,27 @@
+//! Sampling strategies over explicit value lists.
+
+use std::fmt::Debug;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Picks uniformly from `values` (must be non-empty).
+pub fn select<T: Clone + Debug>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "select: empty value list");
+    Select { values }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    values: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        self.values[rng.gen_range(0..self.values.len())].clone()
+    }
+}

@@ -1,0 +1,130 @@
+//! The deterministic case runner behind [`crate::proptest!`].
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases (upstream's default), overridable with the
+    /// `PROPTEST_CASES` environment variable.
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the message carries the details.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; draw a fresh case.
+    Reject,
+}
+
+/// Result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// FNV-1a, used to give every test its own deterministic seed stream.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` cases pass, panicking on the first
+/// failure with the offending case's seed and inputs.
+///
+/// Case `i` uses `StdRng::seed_from_u64(fnv1a(name) ^ i)`: fully
+/// deterministic per test and per case, independent of execution order
+/// and thread count.
+pub fn run<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> TestCaseResult,
+{
+    let base = fnv1a(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut index = 0u64;
+    while passed < config.cases {
+        let mut rng = StdRng::seed_from_u64(base ^ index);
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= 65_536,
+                    "{name}: too many prop_assume! rejections ({rejected}) — \
+                     loosen the generator or the assumption"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest case failed: {name} \
+                     (case #{index}, seed {:#018x})\n  {msg}",
+                    base ^ index
+                );
+            }
+        }
+        index += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        run(ProptestConfig::with_cases(10), "t::counts", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn rejections_do_not_count_as_cases() {
+        let mut total = 0u32;
+        let mut passed = 0u32;
+        run(ProptestConfig::with_cases(5), "t::rejects", |_| {
+            total += 1;
+            if total.is_multiple_of(2) {
+                passed += 1;
+                Ok(())
+            } else {
+                Err(TestCaseError::Reject)
+            }
+        });
+        assert_eq!(passed, 5);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failure_panics_with_message() {
+        run(ProptestConfig::with_cases(1), "t::fails", |_| {
+            Err(TestCaseError::Fail("boom".into()))
+        });
+    }
+}
