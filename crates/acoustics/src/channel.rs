@@ -23,6 +23,14 @@ use crate::propagation::Propagation;
 /// Speed of sound in air at room temperature, m/s.
 pub const SPEED_OF_SOUND: f64 = 343.0;
 
+/// Default ambient lead padding recorded before the transmitted clip,
+/// samples (the receiver starts listening before the sender plays).
+pub const DEFAULT_LEAD_PAD: usize = 12_288;
+
+/// Default ambient tail padding recorded after the transmitted clip,
+/// samples.
+pub const DEFAULT_TAIL_PAD: usize = 1_024;
+
 /// The propagation-path geometry between the two devices.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PathKind {
@@ -195,8 +203,8 @@ impl Default for AcousticLinkBuilder {
             // the wireless start message well before the probe plays,
             // and noise estimation needs to average over at least one
             // syllable of speech-like noise.
-            lead_pad: 12_288,
-            tail_pad: 1_024,
+            lead_pad: DEFAULT_LEAD_PAD,
+            tail_pad: DEFAULT_TAIL_PAD,
         }
     }
 }

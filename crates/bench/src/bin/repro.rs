@@ -5,6 +5,7 @@
 //! cargo run -p wearlock-bench --release --bin repro -- all
 //! cargo run -p wearlock-bench --release --bin repro -- fig5 table1 ...
 //! cargo run -p wearlock-bench --release --bin repro -- --threads 8 all
+//! cargo run -p wearlock-bench --release --bin repro -- fig6 --metrics out.json
 //! ```
 //!
 //! Sweeps fan out over a [`wearlock_runtime::SweepRunner`]; per-task
@@ -12,9 +13,17 @@
 //! `--threads` value (default: one worker per CPU). Each experiment
 //! prints the rows/series the paper reports; shape targets (who wins,
 //! rough factors, crossovers) are documented in EXPERIMENTS.md.
+//!
+//! `--metrics <path>` writes the run's merged telemetry (attempt
+//! funnel, mode usage, per-stage latency/energy histograms) as
+//! deterministic JSON: instrumented experiments record every unlock
+//! attempt and offload round into one [`MetricsRecorder`], and the
+//! per-task recorder merge makes the file bitwise identical for every
+//! `--threads` value too.
 
 use wearlock_bench::report;
 use wearlock_runtime::SweepRunner;
+use wearlock_telemetry::MetricsRecorder;
 
 const SEED: u64 = 20170605; // deterministic everywhere
 
@@ -32,7 +41,17 @@ fn main() {
         });
         args.drain(i..=i + 1);
     }
+    let mut metrics_path: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--metrics") {
+        if i + 1 >= args.len() {
+            eprintln!("--metrics requires an output path");
+            std::process::exit(2);
+        }
+        metrics_path = Some(args[i + 1].clone());
+        args.drain(i..=i + 1);
+    }
     let runner = SweepRunner::new(threads);
+    let metrics = MetricsRecorder::new();
 
     const KNOWN: &[&str] = &[
         "all",
@@ -45,6 +64,7 @@ fn main() {
         "fig10",
         "fig11",
         "fig12",
+        "funnel",
         "table1",
         "table2",
         "casestudy",
@@ -80,7 +100,7 @@ fn main() {
     if want("fig6") {
         print(
             "Fig. 6 - Offloading vs local processing on the wearable (50 rounds)",
-            report::fig6(&runner, SEED, 50),
+            report::fig6_observed(&runner, SEED, 50, &metrics),
         );
     }
     if want("fig7") {
@@ -116,13 +136,19 @@ fn main() {
     if want("fig12") {
         print(
             "Fig. 12 - Total unlock delay per configuration vs manual PIN entry",
-            report::fig12(SEED),
+            report::fig12_observed(SEED, &metrics),
+        );
+    }
+    if want("funnel") {
+        print(
+            "Funnel - unlock outcomes and per-stage costs over the scenario mix",
+            report::funnel(&runner, SEED, 10, &metrics),
         );
     }
     if want("table1") {
         print(
             "Table I - Field test: BER per location / hand config / band",
-            report::table1(SEED, 6),
+            report::table1_observed(SEED, 6, &metrics),
         );
     }
     if want("table2") {
@@ -134,7 +160,20 @@ fn main() {
     if want("casestudy") {
         print(
             "Case study - five participants, classroom, 10 trials each",
-            report::casestudy(SEED, 10),
+            report::casestudy_observed(SEED, 10, &metrics),
+        );
+    }
+
+    if let Some(path) = metrics_path {
+        if let Err(e) = std::fs::write(&path, metrics.to_json()) {
+            eprintln!("failed to write metrics to {path}: {e}");
+            std::process::exit(1);
+        }
+        let snap = metrics.snapshot();
+        println!(
+            "\nmetrics: {} attempts, {} stages -> {path}",
+            snap.attempts,
+            snap.stages.len()
         );
     }
 }

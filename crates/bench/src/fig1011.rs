@@ -3,9 +3,15 @@
 
 use rand::rngs::StdRng;
 
+use wearlock::config::WearLockConfig;
+use wearlock::trim;
+use wearlock_acoustics::channel::{DEFAULT_LEAD_PAD, DEFAULT_TAIL_PAD};
+use wearlock_modem::{Modulation, OfdmModulator};
 use wearlock_platform::device::{DeviceModel, Workload};
 use wearlock_platform::link::{Transport, WirelessLink};
 use wearlock_runtime::SweepRunner;
+
+use crate::fig6::coded_token_bits;
 
 /// Per-phase compute times for one device (Fig. 10).
 #[derive(Debug, Clone, PartialEq)]
@@ -20,30 +26,48 @@ pub struct DevicePhases {
     pub phase2_demod_s: f64,
 }
 
-/// The workload sizes of one unlock (post-trim, as the session uses).
+/// The workload sizes of one unlock, derived from the default session
+/// configuration exactly as the session prices them: trim-bounded
+/// preamble searches, and the trim's one level pass over each full
+/// recording (the transmitted clip plus the link's ambient padding).
 fn phase_workloads() -> (Workload, Workload, Workload) {
+    let config = WearLockConfig::default();
+    let modem = config.modem();
+    let sr = modem.sample_rate();
+    let tx = OfdmModulator::new(modem.clone()).expect("default modem config is valid");
+    let search_len = 2 * trim::search_pad(sr) + modem.preamble_len();
+    let probe_len = modem.preamble_len()
+        + modem.post_preamble_guard()
+        + config.probe_blocks() * modem.symbol_len();
+    let coded = coded_token_bits(&config);
+    let token_len = tx.frame_len(coded, Modulation::Qpsk);
+
     let probe = Workload::combined(&[
         Workload::CrossCorrelation {
-            signal_len: 4_666,
-            template_len: 256,
+            signal_len: search_len,
+            template_len: modem.preamble_len(),
         },
         Workload::Fft {
-            size: 256,
+            size: modem.fft_size(),
             count: 10,
         },
-        Workload::LevelMeasure { samples: 16_000 },
+        Workload::LevelMeasure {
+            samples: DEFAULT_LEAD_PAD + probe_len + DEFAULT_TAIL_PAD,
+        },
     ]);
     let preprocess = Workload::combined(&[
         Workload::CrossCorrelation {
-            signal_len: 4_666,
-            template_len: 256,
+            signal_len: search_len,
+            template_len: modem.preamble_len(),
         },
-        Workload::LevelMeasure { samples: 8_000 },
+        Workload::LevelMeasure {
+            samples: DEFAULT_LEAD_PAD + token_len + DEFAULT_TAIL_PAD,
+        },
     ]);
     let demod = Workload::OfdmDemod {
-        blocks: 7,
-        fft_size: 256,
-        cp_len: 128,
+        blocks: tx.blocks_for(coded, Modulation::Qpsk),
+        fft_size: modem.fft_size(),
+        cp_len: modem.cp_len(),
     };
     (probe, preprocess, demod)
 }

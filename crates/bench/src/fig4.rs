@@ -8,7 +8,7 @@ use wearlock_acoustics::channel::AcousticLink;
 use wearlock_acoustics::hardware::MicrophoneModel;
 use wearlock_acoustics::noise::Location;
 use wearlock_dsp::level::spl;
-use wearlock_dsp::units::{Meters, Spl};
+use wearlock_dsp::units::{Meters, SampleRate, Spl};
 use wearlock_runtime::SweepRunner;
 
 /// One measured point.
@@ -28,7 +28,7 @@ pub struct SplPoint {
 /// the result is identical for any worker count.
 pub fn sweep(volumes: &[f64], distances: &[f64], seed: u64, runner: &SweepRunner) -> Vec<SplPoint> {
     let tone: Vec<f64> = (0..8_192)
-        .map(|i| (std::f64::consts::TAU * 3_000.0 * i as f64 / 44_100.0).sin())
+        .map(|i| (std::f64::consts::TAU * 3_000.0 * i as f64 / SampleRate::CD.value()).sin())
         .collect();
     let grid: Vec<(f64, f64)> = volumes
         .iter()

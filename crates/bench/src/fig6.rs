@@ -1,11 +1,25 @@
 //! Figure 6: time (a) and power (b) of offloading vs local processing
 //! on the wearable, over 50 acoustic-unlock rounds.
 
-use wearlock::config::ExecutionPlan;
+use wearlock::config::{ExecutionPlan, WearLockConfig};
 use wearlock::offload::step_cost;
+use wearlock::trim;
+use wearlock_auth::token::repetition_encode;
+use wearlock_auth::TOKEN_BITS;
+use wearlock_modem::{conv_encode, Modulation, OfdmModulator, TokenCoding};
 use wearlock_platform::device::{DeviceModel, Workload};
 use wearlock_platform::link::WirelessLink;
 use wearlock_runtime::SweepRunner;
+use wearlock_telemetry::{EventSink, MetricsRecorder, StageSpan};
+
+/// Coded token length, in bits, under the configured channel coding.
+pub(crate) fn coded_token_bits(config: &WearLockConfig) -> usize {
+    let token = vec![false; TOKEN_BITS];
+    match config.token_coding() {
+        TokenCoding::Repetition(r) => repetition_encode(&token, r).len(),
+        TokenCoding::Convolutional => conv_encode(&token).len(),
+    }
+}
 
 /// Aggregate of the 50-round comparison for one plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,28 +34,44 @@ pub struct PlanCost {
     pub watch_battery_fraction: f64,
 }
 
-/// One unlock round's processing workload (post-trim sizes).
+/// One unlock round's processing workload, sized from the default
+/// session configuration (post-trim clip lengths, trim-bounded preamble
+/// searches) so a config change re-prices the benchmark automatically.
 fn round_workload() -> (Workload, usize) {
-    let samples = 11_000;
+    let config = WearLockConfig::default();
+    let modem = config.modem();
+    let sr = modem.sample_rate();
+    let tx = OfdmModulator::new(modem.clone()).expect("default modem config is valid");
+    // The trim anchors each clip, so both phases' preamble searches
+    // scan the onset→peak span: the ±pad slack plus one template.
+    let search_len = 2 * trim::search_pad(sr) + modem.preamble_len();
+    let coded = coded_token_bits(&config);
+    // QPSK is the mode adaptive modulation settles on at unlock range.
+    let blocks = tx.blocks_for(coded, Modulation::Qpsk);
+    // The clip shipped to the phone: the trimmed token recording.
+    let samples = trim::planned_len(
+        sr,
+        tx.frame_len(coded, Modulation::Qpsk),
+        trim::TOKEN_NOISE_LEAD_S,
+    );
     (
         Workload::combined(&[
-            // Bounded preamble searches (±50 ms windows) in both phases.
             Workload::CrossCorrelation {
-                signal_len: 4_666,
-                template_len: 256,
+                signal_len: search_len,
+                template_len: modem.preamble_len(),
             },
             Workload::Fft {
-                size: 256,
+                size: modem.fft_size(),
                 count: 10,
             },
             Workload::CrossCorrelation {
-                signal_len: 4_666,
-                template_len: 256,
+                signal_len: search_len,
+                template_len: modem.preamble_len(),
             },
             Workload::OfdmDemod {
-                blocks: 7,
-                fft_size: 256,
-                cp_len: 128,
+                blocks,
+                fft_size: modem.fft_size(),
+                cp_len: modem.cp_len(),
             },
         ]),
         samples,
@@ -54,15 +84,38 @@ fn round_workload() -> (Workload, usize) {
 /// Every (plan, round) pair is an independent task with its own derived
 /// RNG, so the result is identical for any worker count.
 pub fn run(rounds: usize, seed: u64, runner: &SweepRunner) -> (PlanCost, PlanCost) {
+    run_observed(rounds, seed, runner, &MetricsRecorder::new())
+}
+
+/// [`run`] with telemetry: each round's cost is recorded as a
+/// per-plan stage span in `metrics` (merged deterministically in
+/// round order, so the metrics JSON is identical for any worker
+/// count).
+pub fn run_observed(
+    rounds: usize,
+    seed: u64,
+    runner: &SweepRunner,
+    metrics: &MetricsRecorder,
+) -> (PlanCost, PlanCost) {
     let phone = DeviceModel::nexus6();
     let watch = DeviceModel::moto360();
     let link = WirelessLink::wifi();
     let (work, samples) = round_workload();
     let plans = [ExecutionPlan::LocalOnWatch, ExecutionPlan::OffloadToPhone];
 
-    let costs = runner.run(plans.len() * rounds.max(1), seed, |i, rng| {
+    let costs = runner.run_with_metrics(plans.len() * rounds.max(1), seed, metrics, |i, rng, m| {
         let plan = plans[i / rounds.max(1)];
-        step_cost(plan, &work, samples, &phone, &watch, &link, rng)
+        let cost = step_cost(plan, &work, samples, &phone, &watch, &link, rng);
+        m.record_span(&StageSpan {
+            stage: match plan {
+                ExecutionPlan::LocalOnWatch => "offload:local-on-watch",
+                ExecutionPlan::OffloadToPhone => "offload:to-phone",
+            },
+            duration_s: cost.time.value(),
+            watch_energy_j: cost.watch_energy_j,
+            phone_energy_j: cost.phone_energy_j,
+        });
+        cost
     });
 
     let aggregate = |plan_idx: usize| -> PlanCost {

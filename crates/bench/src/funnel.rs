@@ -1,0 +1,96 @@
+//! Unlock-funnel experiment: runs a batch of unlock attempts over a
+//! scenario mix designed to exercise every gate of the pipeline —
+//! out-of-range wireless, motion mismatch, body-blocked NLOS paths,
+//! out-of-range acoustics, and the benign path — and reports the
+//! telemetry funnel (where attempts die) plus per-stage latency and
+//! energy aggregates.
+//!
+//! This is the `repro funnel` experiment and the natural consumer of
+//! `--metrics`: every attempt runs through
+//! [`UnlockSession::attempt_observed`] with a per-task
+//! [`MetricsRecorder`], and the merged snapshot both renders the text
+//! report and serializes to the metrics JSON.
+
+use wearlock::config::WearLockConfig;
+use wearlock::environment::{Environment, MotionScenario};
+use wearlock::session::{outcome_event, UnlockSession};
+use wearlock_acoustics::channel::PathKind;
+use wearlock_acoustics::noise::Location;
+use wearlock_dsp::units::Meters;
+use wearlock_runtime::SweepRunner;
+use wearlock_sensors::Activity;
+use wearlock_telemetry::{AttemptOutcome, MetricsRecorder};
+
+/// One funnel scenario: a label plus the environment it runs in.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Short label for the report.
+    pub label: &'static str,
+    /// The physical setting.
+    pub env: Environment,
+}
+
+/// The scenario mix: each one targets a different funnel exit.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            label: "benign office 0.3 m",
+            env: Environment::default(),
+        },
+        Scenario {
+            label: "benign cafe 0.5 m",
+            env: Environment::builder()
+                .location(Location::Cafe)
+                .distance(Meters(0.5))
+                .build(),
+        },
+        Scenario {
+            label: "wireless out of range",
+            env: Environment::builder().wireless_in_range(false).build(),
+        },
+        // Both bodies must be moving for the DTW filter to decide —
+        // walking vs running gives it discriminative motion.
+        Scenario {
+            label: "attacker holds phone",
+            env: Environment::builder()
+                .motion(MotionScenario::Different {
+                    phone: Activity::Walking,
+                    watch: Activity::Running,
+                })
+                .build(),
+        },
+        Scenario {
+            label: "body-blocked pocket",
+            env: Environment::builder()
+                .path(PathKind::BodyBlocked { block_db: 18.0 })
+                .build(),
+        },
+        Scenario {
+            label: "across the room 3.5 m",
+            env: Environment::builder().distance(Meters(3.5)).build(),
+        },
+    ]
+}
+
+/// Runs `trials` attempts of every scenario, recording telemetry into
+/// `metrics`, and returns each attempt's outcome in task order.
+///
+/// Each (scenario, trial) pair is an independent task with its own
+/// session and derived RNG, so both the outcomes and the merged metrics
+/// are identical for any worker count.
+pub fn run(
+    trials: usize,
+    seed: u64,
+    runner: &SweepRunner,
+    metrics: &MetricsRecorder,
+) -> Vec<AttemptOutcome> {
+    let scenarios = scenarios();
+    let trials = trials.max(1);
+    runner.run_with_metrics(scenarios.len() * trials, seed, metrics, |i, rng, sink| {
+        let env = &scenarios[i / trials].env;
+        let mut session =
+            UnlockSession::new(WearLockConfig::default()).expect("default config is valid");
+        let report = session.attempt_observed(env, sink, rng);
+        outcome_event(report.outcome)
+    })
+}

@@ -7,5 +7,6 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig789;
+pub mod funnel;
 pub mod report;
 pub mod table2;

@@ -11,8 +11,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use wearlock_runtime::SweepRunner;
+use wearlock_telemetry::{AttemptOutcome, MetricsRecorder, NullSink};
 
-use crate::{fig1011, fig4, fig5, fig6, fig789, table2};
+use crate::{fig1011, fig4, fig5, fig6, fig789, funnel, table2};
 
 /// Fig. 4 rows: receiver SPL vs distance per volume setting.
 pub fn fig4(runner: &SweepRunner, seed: u64) -> Vec<String> {
@@ -73,7 +74,17 @@ pub fn fig5(runner: &SweepRunner, seed: u64, bits_per_point: usize) -> Vec<Strin
 
 /// Fig. 6 rows: offloading vs local processing on the wearable.
 pub fn fig6(runner: &SweepRunner, seed: u64, rounds: usize) -> Vec<String> {
-    let (local, offload) = fig6::run(rounds, seed, runner);
+    fig6_observed(runner, seed, rounds, &MetricsRecorder::new())
+}
+
+/// [`fig6`] with per-round cost spans recorded into `metrics`.
+pub fn fig6_observed(
+    runner: &SweepRunner,
+    seed: u64,
+    rounds: usize,
+    metrics: &MetricsRecorder,
+) -> Vec<String> {
+    let (local, offload) = fig6::run_observed(rounds, seed, runner, metrics);
     vec![
         format!(
             "local on watch   : {:7.1} ms/round, {:7.2} J total, {:.4}% of battery",
@@ -208,11 +219,63 @@ pub fn fig11(runner: &SweepRunner, seed: u64, reps: usize) -> Vec<String> {
     out
 }
 
+/// Funnel rows: outcome mix per scenario, the merged deny-reason
+/// funnel, and per-stage latency/energy aggregates from telemetry.
+pub fn funnel(
+    runner: &SweepRunner,
+    seed: u64,
+    trials: usize,
+    metrics: &MetricsRecorder,
+) -> Vec<String> {
+    let outcomes = funnel::run(trials, seed, runner, metrics);
+    let scenarios = funnel::scenarios();
+    let trials = trials.max(1);
+    let mut out = Vec::new();
+    for (i, s) in scenarios.iter().enumerate() {
+        let slice = &outcomes[i * trials..(i + 1) * trials];
+        let mut line = format!("{:>24}:", s.label);
+        for o in AttemptOutcome::ALL {
+            let n = slice.iter().filter(|&&x| x == o).count();
+            if n > 0 {
+                line.push_str(&format!("  {} {n}", o.name()));
+            }
+        }
+        out.push(line);
+    }
+    let snap = metrics.snapshot();
+    out.push(String::new());
+    out.push(format!("funnel over {} attempts:", snap.attempts));
+    for &(name, n) in &snap.outcomes {
+        out.push(format!("{name:>28} {n:>4}"));
+    }
+    out.push(String::new());
+    out.push(format!(
+        "{:>26} {:>6} {:>10} {:>12} {:>12}",
+        "stage", "count", "mean ms", "watch mJ", "phone mJ"
+    ));
+    for (name, s) in &snap.stages {
+        out.push(format!(
+            "{:>26} {:>6} {:>10.2} {:>12.3} {:>12.3}",
+            name,
+            s.latency_s.count,
+            s.latency_s.mean() * 1e3,
+            s.watch_energy_j.mean() * 1e3,
+            s.phone_energy_j.mean() * 1e3,
+        ));
+    }
+    out
+}
+
 /// Fig. 12 rows: total unlock delay per configuration vs manual PIN.
 pub fn fig12(seed: u64) -> Vec<String> {
+    fig12_observed(seed, &NullSink)
+}
+
+/// [`fig12`] with every attempt's telemetry reported to `sink`.
+pub fn fig12_observed(seed: u64, sink: &dyn wearlock_telemetry::EventSink) -> Vec<String> {
     let mut rng = StdRng::seed_from_u64(seed);
     let env = wearlock::environment::Environment::default();
-    match wearlock::delay::compare_with_pin(&env, 5, &mut rng) {
+    match wearlock::delay::compare_with_pin_observed(&env, 5, sink, &mut rng) {
         Ok(report) => {
             let mut out = Vec::new();
             for (i, c) in report.configs.iter().enumerate() {
@@ -243,8 +306,17 @@ pub fn fig12(seed: u64) -> Vec<String> {
 
 /// Table I rows: field-test BER per location / hand config / band.
 pub fn table1(seed: u64, trials: usize) -> Vec<String> {
+    table1_observed(seed, trials, &NullSink)
+}
+
+/// [`table1`] with every attempt's telemetry reported to `sink`.
+pub fn table1_observed(
+    seed: u64,
+    trials: usize,
+    sink: &dyn wearlock_telemetry::EventSink,
+) -> Vec<String> {
     let mut rng = StdRng::seed_from_u64(seed);
-    match wearlock::fieldtest::run_field_test(trials, &mut rng) {
+    match wearlock::fieldtest::run_field_test_observed(trials, sink, &mut rng) {
         Ok(ft) => {
             use wearlock_acoustics::noise::Location;
             use wearlock_modem::config::FrequencyBand;
@@ -310,8 +382,17 @@ pub fn table2(runner: &SweepRunner, seed: u64, trials: usize) -> Vec<String> {
 
 /// Case-study rows: five participants, classroom, `trials` each.
 pub fn casestudy(seed: u64, trials: usize) -> Vec<String> {
+    casestudy_observed(seed, trials, &NullSink)
+}
+
+/// [`casestudy`] with every attempt's telemetry reported to `sink`.
+pub fn casestudy_observed(
+    seed: u64,
+    trials: usize,
+    sink: &dyn wearlock_telemetry::EventSink,
+) -> Vec<String> {
     let mut rng = StdRng::seed_from_u64(seed);
-    match wearlock::casestudy::run_case_study(trials, &mut rng) {
+    match wearlock::casestudy::run_case_study_observed(trials, sink, &mut rng) {
         Ok(cs) => {
             let mut out = Vec::new();
             for p in &cs.participants {

@@ -144,6 +144,20 @@ pub fn run_case_study<R: Rng + ?Sized>(
     trials: usize,
     rng: &mut R,
 ) -> Result<CaseStudy, WearLockError> {
+    run_case_study_observed(trials, &wearlock_telemetry::NullSink, rng)
+}
+
+/// [`run_case_study`] with telemetry: every attempt reports its spans
+/// and outcome to `sink`.
+///
+/// # Errors
+///
+/// Propagates configuration/session failures.
+pub fn run_case_study_observed<R: Rng + ?Sized>(
+    trials: usize,
+    sink: &dyn wearlock_telemetry::EventSink,
+    rng: &mut R,
+) -> Result<CaseStudy, WearLockError> {
     let mut participants = Vec::new();
     for p in Participant::roster() {
         let config = WearLockConfig::builder()
@@ -161,7 +175,7 @@ pub fn run_case_study<R: Rng + ?Sized>(
         let mut nlos_flags = 0;
         let mut nlos_denials = 0;
         for _ in 0..trials {
-            let report = session.attempt(&env, rng);
+            let report = session.attempt_observed(&env, sink, rng);
             if report.outcome.unlocked() {
                 token_unlocks += 1;
             }

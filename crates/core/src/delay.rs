@@ -60,13 +60,30 @@ pub fn measure_breakdown<R: Rng + ?Sized>(
     trials: usize,
     rng: &mut R,
 ) -> Result<DelayBreakdown, WearLockError> {
+    measure_breakdown_observed(config_kind, env, trials, &wearlock_telemetry::NullSink, rng)
+}
+
+/// [`measure_breakdown`] with telemetry: every attempt (including the
+/// excluded non-acoustic ones) reports its spans and outcome to `sink`.
+///
+/// # Errors
+///
+/// Returns [`WearLockError::SessionFailed`] when no attempt succeeds
+/// (e.g. a hostile environment).
+pub fn measure_breakdown_observed<R: Rng + ?Sized>(
+    config_kind: NamedConfig,
+    env: &Environment,
+    trials: usize,
+    sink: &dyn wearlock_telemetry::EventSink,
+    rng: &mut R,
+) -> Result<DelayBreakdown, WearLockError> {
     let config = WearLockConfig::builder().named(config_kind).build()?;
     let mut session = UnlockSession::new(config)?;
     let mut collected = Vec::new();
     let mut guard = 0;
     while collected.len() < trials && guard < trials * 10 {
         guard += 1;
-        let report = session.attempt(env, rng);
+        let report = session.attempt_observed(env, sink, rng);
         if let Outcome::Unlocked(crate::session::UnlockPath::Acoustic(_)) = report.outcome {
             collected.push(report);
         }
@@ -122,9 +139,23 @@ pub fn compare_with_pin<R: Rng + ?Sized>(
     trials: usize,
     rng: &mut R,
 ) -> Result<SpeedupReport, WearLockError> {
+    compare_with_pin_observed(env, trials, &wearlock_telemetry::NullSink, rng)
+}
+
+/// [`compare_with_pin`] with telemetry reported to `sink`.
+///
+/// # Errors
+///
+/// Propagates [`measure_breakdown`] failures.
+pub fn compare_with_pin_observed<R: Rng + ?Sized>(
+    env: &Environment,
+    trials: usize,
+    sink: &dyn wearlock_telemetry::EventSink,
+    rng: &mut R,
+) -> Result<SpeedupReport, WearLockError> {
     let mut configs = Vec::new();
     for kind in NamedConfig::ALL {
-        configs.push(measure_breakdown(kind, env, trials, rng)?);
+        configs.push(measure_breakdown_observed(kind, env, trials, sink, rng)?);
     }
     Ok(SpeedupReport {
         configs,

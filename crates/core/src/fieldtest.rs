@@ -120,6 +120,20 @@ pub fn run_field_test<R: Rng + ?Sized>(
     trials: usize,
     rng: &mut R,
 ) -> Result<FieldTest, WearLockError> {
+    run_field_test_observed(trials, &wearlock_telemetry::NullSink, rng)
+}
+
+/// [`run_field_test`] with telemetry: every attempt reports its spans
+/// and outcome to `sink`.
+///
+/// # Errors
+///
+/// Propagates configuration/session construction failures.
+pub fn run_field_test_observed<R: Rng + ?Sized>(
+    trials: usize,
+    sink: &dyn wearlock_telemetry::EventSink,
+    rng: &mut R,
+) -> Result<FieldTest, WearLockError> {
     let mut cells = Vec::new();
     for band in [FrequencyBand::Audible, FrequencyBand::NearUltrasound] {
         for hands in HandConfig::ALL {
@@ -141,7 +155,7 @@ pub fn run_field_test<R: Rng + ?Sized>(
                 // flip between identical runs.
                 let mut modes = std::collections::BTreeMap::new();
                 for _ in 0..trials {
-                    let report = session.attempt(&env, rng);
+                    let report = session.attempt_observed(&env, sink, rng);
                     if let Some(ber) = report.measured_ber {
                         bers.push(ber);
                     }

@@ -56,6 +56,7 @@ pub mod live;
 pub mod offload;
 pub mod ranging;
 pub mod session;
+pub mod trim;
 
 pub use config::{ExecutionPlan, NamedConfig, WearLockConfig};
 pub use environment::{Environment, MotionScenario};

@@ -42,7 +42,9 @@ impl StepCost {
 /// * Local: the watch computes; nothing crosses the link (the verdict
 ///   message is priced with the rest of the control traffic).
 /// * Offload: the watch ships 16-bit PCM to the phone (file-transfer
-///   delay + radio energy on both ends), then the phone computes.
+///   delay), then the phone computes. The radio energy is split per
+///   battery: the watch pays the transmit side, the phone the receive
+///   side ([`WirelessLink::tx_energy`] / [`WirelessLink::rx_energy`]).
 pub fn step_cost<R: Rng + ?Sized>(
     plan: ExecutionPlan,
     workload: &Workload,
@@ -61,11 +63,10 @@ pub fn step_cost<R: Rng + ?Sized>(
         ExecutionPlan::OffloadToPhone => {
             let bytes = pcm_bytes(audio_samples);
             let transfer = link.file_delay(bytes, rng);
-            let radio_j = link.transfer_energy(bytes);
             StepCost {
                 time: Seconds(transfer.value() + phone.execute(workload).value()),
-                watch_energy_j: radio_j,
-                phone_energy_j: phone.energy_for(workload) + radio_j,
+                watch_energy_j: link.tx_energy(bytes),
+                phone_energy_j: phone.energy_for(workload) + link.rx_energy(bytes),
             }
         }
     }
@@ -170,6 +171,34 @@ mod tests {
             &WirelessLink::new(Transport::Bluetooth),
         );
         assert_eq!(plan, ExecutionPlan::LocalOnWatch);
+    }
+
+    #[test]
+    fn offload_charges_each_battery_its_own_radio_side() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Workload::Raw(0.0); // isolate the radio energies
+        let phone = DeviceModel::nexus6();
+        let watch = DeviceModel::moto360();
+        let link = WirelessLink::bluetooth();
+        let samples = 20_000;
+        let cost = step_cost(
+            ExecutionPlan::OffloadToPhone,
+            &w,
+            samples,
+            &phone,
+            &watch,
+            &link,
+            &mut rng,
+        );
+        let bytes = pcm_bytes(samples);
+        assert!((cost.watch_energy_j - link.tx_energy(bytes)).abs() < 1e-15);
+        let phone_radio = cost.phone_energy_j - phone.energy_for(&w);
+        assert!((phone_radio - link.rx_energy(bytes)).abs() < 1e-15);
+        // No double charge: the two ledgers together account for exactly
+        // one link crossing plus the phone's compute.
+        let total = cost.watch_energy_j + cost.phone_energy_j;
+        let expect = link.transfer_energy(bytes) + phone.energy_for(&w);
+        assert!((total - expect).abs() < 1e-15);
     }
 
     #[test]

@@ -31,19 +31,21 @@ use wearlock_dsp::units::{Db, Seconds, Spl};
 use wearlock_modem::coding::{conv_encode, viterbi_decode, TokenCoding};
 use wearlock_modem::demodulator::bit_error_rate;
 use wearlock_modem::subchannel::{apply_selection, select_data_channels};
-use wearlock_modem::{ModePolicy, OfdmDemodulator, OfdmModulator, TransmissionMode};
+use wearlock_modem::{ModePolicy, OfdmConfig, OfdmDemodulator, OfdmModulator, TransmissionMode};
 use wearlock_platform::device::Workload;
 use wearlock_platform::keyguard::{Keyguard, KeyguardEvent};
 use wearlock_platform::link::WirelessLink;
 use wearlock_platform::VirtualClock;
 use wearlock_sensors::activity::{synthesize_different_pair, synthesize_pair};
 use wearlock_sensors::FilterDecision;
+use wearlock_telemetry::{AttemptEvent, AttemptOutcome, EventSink, NullSink, StageSpan};
 
 use crate::ambient::ambient_similarity;
 use crate::config::{ExecutionPlan, WearLockConfig};
 use crate::environment::{Environment, MotionScenario};
 use crate::error::WearLockError;
 use crate::offload::{step_cost, StepCost};
+use crate::trim;
 
 /// Why an unlock attempt was denied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -91,6 +93,68 @@ impl Outcome {
     }
 }
 
+/// Maps a session [`Outcome`] to the telemetry funnel bucket — the
+/// single translation point between the session's rich outcome type and
+/// the counter the metrics layer aggregates.
+pub fn outcome_event(outcome: Outcome) -> AttemptOutcome {
+    match outcome {
+        Outcome::Unlocked(UnlockPath::MotionSkip) => AttemptOutcome::UnlockedMotionSkip,
+        Outcome::Unlocked(UnlockPath::Acoustic(_)) => AttemptOutcome::UnlockedAcoustic,
+        Outcome::Denied(DenyReason::NoWirelessLink) => AttemptOutcome::DeniedNoWirelessLink,
+        Outcome::Denied(DenyReason::LockedOut) => AttemptOutcome::DeniedLockedOut,
+        Outcome::Denied(DenyReason::MotionMismatch) => AttemptOutcome::DeniedMotionMismatch,
+        Outcome::Denied(DenyReason::ProbeNotDetected) => AttemptOutcome::DeniedProbeNotDetected,
+        Outcome::Denied(DenyReason::NlosDetected) => AttemptOutcome::DeniedNlosDetected,
+        Outcome::Denied(DenyReason::AmbientMismatch) => AttemptOutcome::DeniedAmbientMismatch,
+        Outcome::Denied(DenyReason::SnrTooLow) => AttemptOutcome::DeniedSnrTooLow,
+        Outcome::Denied(DenyReason::TokenRejected) => AttemptOutcome::DeniedTokenRejected,
+    }
+}
+
+/// Couples the virtual clock, the energy ledger and the telemetry sink:
+/// every pipeline stage goes through one [`StageLedger::step`] call, so
+/// the clock, the per-battery energies and the emitted [`StageSpan`]s
+/// can never drift apart.
+struct StageLedger<'s> {
+    clock: VirtualClock,
+    energy: StepCost,
+    sink: &'s dyn EventSink,
+}
+
+impl StageLedger<'_> {
+    fn step(&mut self, stage: &'static str, time: Seconds, watch_j: f64, phone_j: f64) {
+        self.clock.advance(stage, time);
+        self.energy.watch_energy_j += watch_j;
+        self.energy.phone_energy_j += phone_j;
+        if self.sink.enabled() {
+            self.sink.record_span(&StageSpan {
+                stage,
+                // The clock clamps negative durations; the span must
+                // report the same figure it accounted.
+                duration_s: time.value().max(0.0),
+                watch_energy_j: watch_j,
+                phone_energy_j: phone_j,
+            });
+        }
+    }
+
+    fn step_cost(&mut self, stage: &'static str, cost: StepCost) {
+        self.step(stage, cost.time, cost.watch_energy_j, cost.phone_energy_j);
+    }
+
+    /// Copies the final clock/energy state into the report.
+    fn finish(&self, report: &mut AttemptReport) {
+        report.total_delay = self.clock.now();
+        report.delays = self
+            .clock
+            .spans()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect();
+        report.watch_energy_j = self.energy.watch_energy_j;
+        report.phone_energy_j = self.energy.phone_energy_j;
+    }
+}
+
 /// Full diagnostics of one unlock attempt.
 #[derive(Debug, Clone)]
 pub struct AttemptReport {
@@ -119,7 +183,8 @@ pub struct AttemptReport {
     pub nlos_flagged: bool,
     /// RMS delay spread of the probe preamble, seconds.
     pub rms_delay_spread: Option<f64>,
-    /// Data channels used for phase 2.
+    /// Data channels used for phase 2. Empty when the attempt never
+    /// reached sub-channel selection (early denial or motion skip).
     pub data_channels: Vec<usize>,
     /// Energy drawn from the watch battery, joules.
     pub watch_energy_j: f64,
@@ -217,10 +282,55 @@ impl UnlockSession {
             .expect("environment distances are validated positive")
     }
 
+    /// Builds a demodulator for `cfg` with the session's preamble
+    /// detection threshold. Both acoustic phases must screen the
+    /// preamble identically — this is the single construction point, so
+    /// phase 2 can never silently fall back to the library default.
+    fn demodulator_for(&self, cfg: &OfdmConfig) -> OfdmDemodulator {
+        OfdmDemodulator::new(cfg.clone())
+            .expect("validated at build")
+            .with_detection_threshold(self.config.nlos_score_threshold.max(0.3))
+    }
+
     /// Runs one unlock attempt in `env`, updating session state.
     pub fn attempt<R: Rng + ?Sized>(&mut self, env: &Environment, rng: &mut R) -> AttemptReport {
-        let mut clock = VirtualClock::new();
-        let mut energy = StepCost::default();
+        self.attempt_observed(env, &NullSink, rng)
+    }
+
+    /// [`UnlockSession::attempt`] with telemetry: every pipeline stage
+    /// emits a [`StageSpan`] to `sink` and the attempt ends with one
+    /// [`AttemptEvent`]. With a disabled sink (e.g. [`NullSink`], which
+    /// `attempt` passes) the instrumentation compiles down to a dead
+    /// branch — the two entry points run the identical pipeline.
+    pub fn attempt_observed<R: Rng + ?Sized>(
+        &mut self,
+        env: &Environment,
+        sink: &dyn EventSink,
+        rng: &mut R,
+    ) -> AttemptReport {
+        let report = self.run_attempt(env, sink, rng);
+        if sink.enabled() {
+            sink.record_attempt(&AttemptEvent {
+                outcome: outcome_event(report.outcome),
+                mode: report.mode.map(|m| m.to_string()),
+                psnr_db: report.psnr.map(Db::value),
+                ebn0_db: report.ebn0.map(Db::value),
+            });
+        }
+        report
+    }
+
+    fn run_attempt<R: Rng + ?Sized>(
+        &mut self,
+        env: &Environment,
+        sink: &dyn EventSink,
+        rng: &mut R,
+    ) -> AttemptReport {
+        let mut ledger = StageLedger {
+            clock: VirtualClock::new(),
+            energy: StepCost::default(),
+            sink,
+        };
         let mut report = AttemptReport {
             outcome: Outcome::Denied(DenyReason::NoWirelessLink),
             total_delay: Seconds(0.0),
@@ -234,34 +344,32 @@ impl UnlockSession {
             volume: None,
             nlos_flagged: false,
             rms_delay_spread: None,
-            data_channels: self.config.modem.data_channels().to_vec(),
+            // Filled in at sub-channel selection; an attempt denied
+            // before phase 2 reports no data channels rather than the
+            // configured default it never used.
+            data_channels: Vec::new(),
             watch_energy_j: 0.0,
             phone_energy_j: 0.0,
         };
 
-        let deny = |report: &mut AttemptReport,
-                    clock: &VirtualClock,
-                    energy: &StepCost,
-                    reason: DenyReason| {
+        let deny = |report: &mut AttemptReport, ledger: &StageLedger<'_>, reason: DenyReason| {
             report.outcome = Outcome::Denied(reason);
-            report.total_delay = clock.now();
-            report.delays = clock.spans().map(|(k, v)| (k.to_string(), v)).collect();
-            report.watch_energy_j = energy.watch_energy_j;
-            report.phone_energy_j = energy.phone_energy_j;
+            ledger.finish(report);
         };
 
         // 0. Lockout gate.
         if self.lockout.is_locked_out() {
-            deny(&mut report, &clock, &energy, DenyReason::LockedOut);
+            deny(&mut report, &ledger, DenyReason::LockedOut);
             return report;
         }
 
         // 1. Wireless link presence (the cheapest filter).
         if !env.wireless_in_range {
-            deny(&mut report, &clock, &energy, DenyReason::NoWirelessLink);
+            deny(&mut report, &ledger, DenyReason::NoWirelessLink);
             return report;
         }
-        clock.advance("wireless:handshake", self.link.round_trip(rng));
+        let rt = self.link.round_trip(rng);
+        ledger.step("wireless:handshake", rt, 0.0, 0.0);
 
         // 2. Sensor traces (buffered in the background on both devices;
         //    the watch ships ~2 kB) and the motion filter on the phone.
@@ -273,19 +381,18 @@ impl UnlockSession {
                 synthesize_different_pair(phone, watch, env.sensor_samples, rng)
             }
         };
-        clock.advance(
-            "wireless:sensor-transfer",
-            self.link.file_delay(env.sensor_samples * 12, rng),
-        );
+        let sensor_delay = self.link.file_delay(env.sensor_samples * 12, rng);
+        ledger.step("wireless:sensor-transfer", sensor_delay, 0.0, 0.0);
         let dtw_work = Workload::Dtw {
             n: env.sensor_samples,
             m: env.sensor_samples,
         };
-        clock.advance(
+        ledger.step(
             "compute:motion-filter",
             self.config.phone.execute(&dtw_work),
+            0.0,
+            self.config.phone.energy_for(&dtw_work),
         );
-        energy.phone_energy_j += self.config.phone.energy_for(&dtw_work);
         let decision = self
             .config
             .motion_filter
@@ -293,7 +400,7 @@ impl UnlockSession {
         report.dtw_score = Some(decision.score());
         match decision {
             FilterDecision::Abort { .. } => {
-                deny(&mut report, &clock, &energy, DenyReason::MotionMismatch);
+                deny(&mut report, &ledger, DenyReason::MotionMismatch);
                 return report;
             }
             FilterDecision::SkipSecondPhase { .. } => {
@@ -301,10 +408,7 @@ impl UnlockSession {
                 self.keyguard.handle(KeyguardEvent::AcousticUnlockVerified);
                 self.lockout.record_success();
                 report.outcome = Outcome::Unlocked(UnlockPath::MotionSkip);
-                report.total_delay = clock.now();
-                report.delays = clock.spans().map(|(k, v)| (k.to_string(), v)).collect();
-                report.watch_energy_j = energy.watch_energy_j;
-                report.phone_energy_j = energy.phone_energy_j;
+                ledger.finish(&mut report);
                 return report;
             }
             FilterDecision::Continue { .. } => {}
@@ -317,30 +421,49 @@ impl UnlockSession {
         let volume = self.config.required_volume(noise_spl);
         report.volume = Some(volume);
 
+        let sample_rate = self.config.modem.sample_rate();
         let tx = OfdmModulator::new(self.config.modem.clone()).expect("validated at build");
-        let rx = OfdmDemodulator::new(self.config.modem.clone())
-            .expect("validated at build")
-            .with_detection_threshold(self.config.nlos_score_threshold.max(0.3));
         let probe = tx.probe(self.config.probe_blocks).expect("probe is valid");
         let probe_rec = acoustic.transmit(&probe, volume, rng);
-        clock.advance(
+        ledger.step(
             "audio:phase1",
-            Seconds(probe.len() as f64 / 44_100.0 + 0.08),
+            Seconds(probe.len() as f64 / sample_rate.value() + 0.08),
+            0.0,
+            0.0,
         );
 
         // The watch trims its recording to the active segment plus a
         // noise-estimation lead-in before shipping or processing it
-        // (cheap energy detection; part of the paper's computation-
-        // reduction theme) — the heavy correlator never sees the full
-        // buffer and Bluetooth never carries it.
-        let probe_kept = (probe.len() + 8_820).min(probe_rec.len());
+        // (cheap energy detection, priced as the `LevelMeasure` over
+        // the full buffer; part of the paper's computation-reduction
+        // theme) — the heavy correlator never sees the full buffer and
+        // Bluetooth never carries it.
+        let probe_trim = trim::plan_trim(
+            &probe_rec,
+            sample_rate,
+            probe.len(),
+            trim::PROBE_NOISE_LEAD_S,
+        );
+        let probe_trimmed = probe_trim.slice(&probe_rec);
         // The wireless start message bounds when the probe can arrive,
         // so the correlator only searches a ±50 ms window around the
-        // expected position instead of the whole recording.
-        let search_len = (self.config.modem.preamble_len() + 4_410).min(probe_kept);
+        // detected position instead of the whole recording.
+        let pad = trim::search_pad(sample_rate);
+        let rx = if probe_trim.detected {
+            let (lo, hi) = probe_trim.search_bounds(pad, self.config.modem.preamble_len());
+            self.demodulator_for(&self.config.modem)
+                .with_search_window(lo, hi)
+        } else {
+            // Nothing rose above the noise floor: scan everything so the
+            // denial carries full diagnostics (and pay for that scan).
+            self.demodulator_for(&self.config.modem)
+        };
+        // `search_span` is the same clamp `detect` executes, so the
+        // priced correlation length equals the samples actually scanned.
+        let (search_from, search_to) = rx.search_span(probe_trimmed.len());
         let probe_work = Workload::combined(&[
             Workload::CrossCorrelation {
-                signal_len: search_len,
+                signal_len: search_to - search_from,
                 template_len: self.config.modem.preamble_len(),
             },
             Workload::Fft {
@@ -354,19 +477,18 @@ impl UnlockSession {
         let c1 = step_cost(
             self.config.plan,
             &probe_work,
-            probe_kept,
+            probe_trim.len(),
             &self.config.phone,
             &self.config.watch,
             &self.link,
             rng,
         );
-        clock.advance("compute:phase1-probing", c1.time);
-        energy = energy.plus(c1);
+        ledger.step_cost("compute:phase1-probing", c1);
 
-        let probe_report = match rx.analyze_probe(&probe_rec) {
+        let probe_report = match rx.analyze_probe(probe_trimmed) {
             Ok(r) => r,
             Err(_) => {
-                deny(&mut report, &clock, &energy, DenyReason::ProbeNotDetected);
+                deny(&mut report, &ledger, DenyReason::ProbeNotDetected);
                 return report;
             }
         };
@@ -376,7 +498,7 @@ impl UnlockSession {
         // NLOS screen: weak preamble or ballooned delay spread.
         let mut policy = self.config.policy;
         if probe_report.sync.preamble_score < self.config.nlos_score_threshold {
-            deny(&mut report, &clock, &energy, DenyReason::ProbeNotDetected);
+            deny(&mut report, &ledger, DenyReason::ProbeNotDetected);
             return report;
         }
         if probe_report.sync.rms_delay_spread > self.config.nlos_spread_threshold {
@@ -386,18 +508,21 @@ impl UnlockSession {
                     policy = ModePolicy::new(relaxed).unwrap_or(policy);
                 }
                 None => {
-                    deny(&mut report, &clock, &energy, DenyReason::NlosDetected);
+                    deny(&mut report, &ledger, DenyReason::NlosDetected);
                     return report;
                 }
             }
         }
 
-        // Ambient-noise similarity (Sound-Proof-style co-location).
-        let watch_ambient = &probe_rec[..probe_report.sync.preamble_offset.min(probe_rec.len())];
+        // Ambient-noise similarity (Sound-Proof-style co-location). The
+        // trim kept a noise lead-in before the preamble for exactly
+        // this comparison.
+        let watch_ambient =
+            &probe_trimmed[..probe_report.sync.preamble_offset.min(probe_trimmed.len())];
         let sim = ambient_similarity(&ambient_phone, watch_ambient, acoustic.sample_rate());
         report.ambient_similarity = Some(sim);
         if sim < self.config.ambient_similarity_threshold {
-            deny(&mut report, &clock, &energy, DenyReason::AmbientMismatch);
+            deny(&mut report, &ledger, DenyReason::AmbientMismatch);
             return report;
         }
 
@@ -448,16 +573,15 @@ impl UnlockSession {
         let mode = match policy.select_mode(ebn0) {
             Some(m) => m,
             None => {
-                deny(&mut report, &clock, &energy, DenyReason::SnrTooLow);
+                deny(&mut report, &ledger, DenyReason::SnrTooLow);
                 return report;
             }
         };
         report.mode = Some(mode);
-        clock.advance("wireless:cts", self.link.message_delay(rng));
+        ledger.step("wireless:cts", self.link.message_delay(rng), 0.0, 0.0);
 
         // 4. Phase 2: token transmission and verification.
         let tx2 = OfdmModulator::new(modem_cfg.clone()).expect("selection keeps config valid");
-        let rx2 = OfdmDemodulator::new(modem_cfg.clone()).expect("selection keeps config valid");
         let token = self.generator.next_token();
         let token_bits = token_to_bits(token);
         let coded = match self.config.token_coding {
@@ -468,14 +592,34 @@ impl UnlockSession {
             .modulate(&coded, mode.modulation())
             .expect("coded token is non-empty");
         let token_rec = acoustic.transmit(&wave, volume, rng);
-        clock.advance("audio:phase2", Seconds(wave.len() as f64 / 44_100.0 + 0.08));
+        ledger.step(
+            "audio:phase2",
+            Seconds(wave.len() as f64 / sample_rate.value() + 0.08),
+            0.0,
+            0.0,
+        );
 
+        // Same trim-then-search as phase 1, with a shorter noise
+        // lead-in: phase 2 only needs a noise floor, not an ambient
+        // spectrum.
+        let token_trim = trim::plan_trim(
+            &token_rec,
+            sample_rate,
+            wave.len(),
+            trim::TOKEN_NOISE_LEAD_S,
+        );
+        let token_trimmed = token_trim.slice(&token_rec);
+        let rx2 = if token_trim.detected {
+            let (lo, hi) = token_trim.search_bounds(pad, modem_cfg.preamble_len());
+            self.demodulator_for(&modem_cfg).with_search_window(lo, hi)
+        } else {
+            self.demodulator_for(&modem_cfg)
+        };
+        let (search2_from, search2_to) = rx2.search_span(token_trimmed.len());
         let blocks = tx2.blocks_for(coded.len(), mode.modulation());
-        let token_kept = (wave.len() + 4_410).min(token_rec.len());
-        let search2 = (modem_cfg.preamble_len() + 4_410).min(token_kept);
         let demod_work = Workload::combined(&[
             Workload::CrossCorrelation {
-                signal_len: search2,
+                signal_len: search2_to - search2_from,
                 template_len: modem_cfg.preamble_len(),
             },
             Workload::LevelMeasure {
@@ -485,14 +629,13 @@ impl UnlockSession {
         let c2 = step_cost(
             self.config.plan,
             &demod_work,
-            token_kept,
+            token_trim.len(),
             &self.config.phone,
             &self.config.watch,
             &self.link,
             rng,
         );
-        clock.advance("compute:phase2-preprocess", c2.time);
-        energy = energy.plus(c2);
+        ledger.step_cost("compute:phase2-preprocess", c2);
 
         let demod_only = Workload::OfdmDemod {
             blocks,
@@ -513,11 +656,10 @@ impl UnlockSession {
                 phone_energy_j: self.config.phone.energy_for(&demod_only),
             },
         };
-        clock.advance("compute:phase2-demod", c3.time);
-        energy = energy.plus(c3);
-        clock.advance("wireless:verdict", self.link.message_delay(rng));
+        ledger.step_cost("compute:phase2-demod", c3);
+        ledger.step("wireless:verdict", self.link.message_delay(rng), 0.0, 0.0);
 
-        let verified = match rx2.demodulate(&token_rec, mode.modulation(), coded.len()) {
+        let verified = match rx2.demodulate(token_trimmed, mode.modulation(), coded.len()) {
             Ok(result) => {
                 report.measured_ber = Some(bit_error_rate(&coded, &result.bits));
                 let decoded = match self.config.token_coding {
@@ -555,10 +697,7 @@ impl UnlockSession {
             );
             report.outcome = Outcome::Denied(DenyReason::TokenRejected);
         }
-        report.total_delay = clock.now();
-        report.delays = clock.spans().map(|(k, v)| (k.to_string(), v)).collect();
-        report.watch_energy_j = energy.watch_energy_j;
-        report.phone_energy_j = energy.phone_energy_j;
+        ledger.finish(&mut report);
         report
     }
 
@@ -827,6 +966,55 @@ mod tests {
         let rep = s.attempt_with_retries(&env, 2, &mut rng(13));
         let sum: f64 = rep.attempts.iter().map(|a| a.total_delay.value()).sum();
         assert!((rep.total_delay.value() - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase2_demodulator_threshold_matches_phase1() {
+        // Regression: phase 2 used to construct its demodulator without
+        // the session's detection threshold, silently falling back to
+        // the library default — a weak-but-passing phase-1 preamble
+        // could then be rejected in phase 2 under a stricter bar. Both
+        // phases build through `demodulator_for`, so the thresholds
+        // agree for any configured value.
+        let strict = UnlockSession::new(
+            WearLockConfig::builder()
+                .nlos_score_threshold(0.45)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let rx1 = strict.demodulator_for(&strict.config.modem);
+        let rx2 = strict.demodulator_for(&strict.config.modem);
+        assert_eq!(rx1.detection_threshold(), 0.45);
+        assert_eq!(rx1.detection_threshold(), rx2.detection_threshold());
+        // The default low NLOS score threshold is floored at 0.3 for
+        // preamble detection in both phases.
+        let default = session();
+        assert_eq!(
+            default
+                .demodulator_for(&default.config.modem)
+                .detection_threshold(),
+            0.3
+        );
+    }
+
+    #[test]
+    fn early_denial_reports_no_data_channels() {
+        let mut s = session();
+        let env = Environment::builder()
+            .motion(MotionScenario::Different {
+                phone: Activity::Walking,
+                watch: Activity::Running,
+            })
+            .build();
+        let report = s.attempt(&env, &mut rng(3));
+        assert_eq!(report.outcome, Outcome::Denied(DenyReason::MotionMismatch));
+        // Phase 2 never ran: no data channels to report.
+        assert!(report.data_channels.is_empty(), "{report:?}");
+        // A full acoustic unlock does report them.
+        let ok = s.attempt(&Environment::default(), &mut rng(1));
+        assert!(ok.outcome.unlocked(), "{ok:?}");
+        assert!(!ok.data_channels.is_empty());
     }
 
     #[test]

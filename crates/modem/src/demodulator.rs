@@ -137,6 +137,7 @@ pub struct OfdmDemodulator {
     preamble: Vec<f64>,
     detection_threshold: f64,
     estimator: ChannelEstimator,
+    search_window: Option<(usize, usize)>,
 }
 
 impl OfdmDemodulator {
@@ -154,6 +155,7 @@ impl OfdmDemodulator {
             preamble,
             detection_threshold: DEFAULT_DETECTION_THRESHOLD,
             estimator: ChannelEstimator::default(),
+            search_window: None,
         })
     }
 
@@ -161,6 +163,41 @@ impl OfdmDemodulator {
     pub fn with_detection_threshold(mut self, threshold: f64) -> Self {
         self.detection_threshold = threshold;
         self
+    }
+
+    /// The preamble detection threshold in use.
+    pub fn detection_threshold(&self) -> f64 {
+        self.detection_threshold
+    }
+
+    /// Restricts preamble search to `[start, end)` sample offsets of
+    /// the recording, replacing the silence-detector scan. Callers that
+    /// already know roughly where the signal starts (the session's trim
+    /// step finds the active segment, and the wireless start message
+    /// bounds when audio can arrive) use this so the heavy correlator
+    /// runs over exactly the window the cost model prices — see
+    /// [`OfdmDemodulator::search_span`] for the effective bounds.
+    pub fn with_search_window(mut self, start: usize, end: usize) -> Self {
+        self.search_window = Some((start, end));
+        self
+    }
+
+    /// The effective correlation span `[from, to)` that
+    /// [`OfdmDemodulator::detect`] will scan for a recording of
+    /// `recording_len` samples, after clamping the configured search
+    /// window to the buffer and widening it to at least one preamble
+    /// length. Cost models price the correlator over exactly
+    /// `to - from` samples. Returns the full recording when no window
+    /// is set (the silence detector then narrows it at run time).
+    pub fn search_span(&self, recording_len: usize) -> (usize, usize) {
+        match self.search_window {
+            None => (0, recording_len),
+            Some((start, end)) => {
+                let to = end.max(self.preamble.len()).min(recording_len);
+                let from = start.min(to.saturating_sub(self.preamble.len()));
+                (from, to)
+            }
+        }
     }
 
     /// Overrides the channel-estimation interpolation strategy.
@@ -191,21 +228,29 @@ impl OfdmDemodulator {
                 self.preamble.len()
             )));
         }
-        // Estimate the noise floor from the head of the recording and
+        // A caller-supplied search window bounds the scan directly (the
+        // caller already located the active segment). Otherwise,
+        // estimate the noise floor from the head of the recording and
         // skip sections that never rise above it.
-        let head = &recording[..self.preamble.len().min(recording.len())];
-        let noise_spl = wearlock_dsp::level::spl(head);
-        let detector = SilenceDetector::new(Spl(noise_spl.value() + 3.0), 256)
-            .expect("static window is valid");
-        let search_from = detector
-            .first_active_window(recording)
-            .unwrap_or(0)
-            .saturating_sub(self.preamble.len());
+        let (search_from, search_to) = if self.search_window.is_some() {
+            self.search_span(recording.len())
+        } else {
+            let head = &recording[..self.preamble.len().min(recording.len())];
+            let noise_spl = wearlock_dsp::level::spl(head);
+            let detector = SilenceDetector::new(Spl(noise_spl.value() + 3.0), 256)
+                .expect("static window is valid");
+            let from = detector
+                .first_active_window(recording)
+                .unwrap_or(0)
+                .saturating_sub(self.preamble.len());
+            (from, recording.len())
+        };
 
         // Overlap–save FFT correlator: same normalization (and hence
         // same scores up to ~1e-9) as the direct scan, at O(n log m) —
         // this search dominates the unlock's compute budget.
-        let scores = normalized_cross_correlate_fft(&recording[search_from..], &self.preamble)?;
+        let scores =
+            normalized_cross_correlate_fft(&recording[search_from..search_to], &self.preamble)?;
         let (rel_offset, score) =
             scores
                 .iter()
@@ -636,6 +681,54 @@ mod tests {
             .unwrap();
         assert_eq!(out.bits, payload);
         assert!((out.sync.preamble_offset as isize - 3_000).unsigned_abs() <= 2);
+    }
+
+    #[test]
+    fn search_window_bounds_scan_without_changing_sync() {
+        let (tx, rx) = pair();
+        let payload = bits(48);
+        let wave = tx.modulate(&payload, Modulation::Qpsk).unwrap();
+        let mut rec = vec![0.0; 3_000];
+        for (i, r) in rec.iter_mut().enumerate() {
+            *r = 1e-4 * ((i * 2654435761) as f64 % 17.0 - 8.0) / 8.0;
+        }
+        rec.extend_from_slice(&wave);
+        let full = rx.detect(&rec).unwrap();
+        // A window around the true offset: same sync, bounded scan.
+        let windowed = rx
+            .clone()
+            .with_search_window(2_800, 3_200 + rx.config().preamble_len());
+        let (from, to) = windowed.search_span(rec.len());
+        assert!(to - from < rec.len() / 2, "window did not bound the scan");
+        let sync = windowed.detect(&rec).unwrap();
+        assert_eq!(sync.preamble_offset, full.preamble_offset);
+        // A window that excludes the signal finds nothing.
+        let missing = rx.clone().with_search_window(0, 1_500);
+        assert!(matches!(
+            missing.detect(&rec),
+            Err(ModemError::SignalNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn search_span_clamps_to_recording_and_preamble() {
+        let (_tx, rx) = pair();
+        let p = rx.config().preamble_len();
+        // No window: the whole recording.
+        assert_eq!(rx.search_span(10_000), (0, 10_000));
+        let rx = rx.with_search_window(4_000, 20_000);
+        // End clamps to the buffer.
+        assert_eq!(rx.search_span(10_000), (4_000, 10_000));
+        // A window shorter than the preamble widens to fit it.
+        let (from, to) = rx.search_span(4_100);
+        assert!(to - from >= p, "span {from}..{to} can't fit the preamble");
+    }
+
+    #[test]
+    fn detection_threshold_is_readable() {
+        let (_tx, rx) = pair();
+        assert_eq!(rx.detection_threshold(), DEFAULT_DETECTION_THRESHOLD);
+        assert_eq!(rx.with_detection_threshold(0.2).detection_threshold(), 0.2);
     }
 
     #[test]

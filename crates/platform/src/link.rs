@@ -39,8 +39,10 @@ pub struct WirelessLink {
     throughput: f64,
     /// Multiplicative jitter spread (lognormal σ).
     jitter_sigma: f64,
-    /// Radio power draw while transferring, watts.
-    radio_power_w: f64,
+    /// Radio power draw while transmitting, watts.
+    radio_tx_power_w: f64,
+    /// Radio power draw while receiving, watts.
+    radio_rx_power_w: f64,
 }
 
 impl WirelessLink {
@@ -52,7 +54,8 @@ impl WirelessLink {
             message_latency: 0.060,
             throughput: 110e3,
             jitter_sigma: 0.25,
-            radio_power_w: 0.10,
+            radio_tx_power_w: 0.10,
+            radio_rx_power_w: 0.065,
         }
     }
 
@@ -63,7 +66,8 @@ impl WirelessLink {
             message_latency: 0.015,
             throughput: 1.8e6,
             jitter_sigma: 0.20,
-            radio_power_w: 0.28,
+            radio_tx_power_w: 0.28,
+            radio_rx_power_w: 0.18,
         }
     }
 
@@ -80,9 +84,15 @@ impl WirelessLink {
         self.transport
     }
 
-    /// Radio power draw while active, watts.
-    pub fn radio_power_w(&self) -> f64 {
-        self.radio_power_w
+    /// Radio power draw while transmitting, watts.
+    pub fn radio_tx_power_w(&self) -> f64 {
+        self.radio_tx_power_w
+    }
+
+    /// Radio power draw while receiving, watts. Receive chains draw
+    /// less than transmit chains on both radios (no PA output stage).
+    pub fn radio_rx_power_w(&self) -> f64 {
+        self.radio_rx_power_w
     }
 
     fn jitter<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
@@ -114,11 +124,24 @@ impl WirelessLink {
         Seconds(self.message_latency + bytes as f64 / self.throughput)
     }
 
-    /// Radio energy in joules to transfer `bytes` (both ends combined
-    /// are modelled on the *sending* side's budget here; callers split
-    /// as needed).
+    /// Radio energy in joules the *sender* spends transferring `bytes`
+    /// (median transfer time × transmit power).
+    pub fn tx_energy(&self, bytes: usize) -> f64 {
+        self.file_delay_median(bytes).value() * self.radio_tx_power_w
+    }
+
+    /// Radio energy in joules the *receiver* spends accepting `bytes`
+    /// (median transfer time × receive power).
+    pub fn rx_energy(&self, bytes: usize) -> f64 {
+        self.file_delay_median(bytes).value() * self.radio_rx_power_w
+    }
+
+    /// Total radio energy in joules to move `bytes` across the link —
+    /// both ends combined, i.e. [`WirelessLink::tx_energy`] +
+    /// [`WirelessLink::rx_energy`]. Ledgers charging per battery should
+    /// use the split figures instead.
     pub fn transfer_energy(&self, bytes: usize) -> f64 {
-        self.file_delay_median(bytes).value() * self.radio_power_w
+        self.tx_energy(bytes) + self.rx_energy(bytes)
     }
 }
 
@@ -198,6 +221,20 @@ mod tests {
     fn transfer_energy_positive() {
         assert!(WirelessLink::bluetooth().transfer_energy(100_000) > 0.0);
         assert_eq!(pcm_bytes(100), 200);
+    }
+
+    #[test]
+    fn radio_energy_splits_into_tx_and_rx() {
+        for link in [WirelessLink::bluetooth(), WirelessLink::wifi()] {
+            let bytes = 50_000;
+            let tx = link.tx_energy(bytes);
+            let rx = link.rx_energy(bytes);
+            assert!(tx > 0.0 && rx > 0.0);
+            // Receive chains draw less than transmit chains.
+            assert!(rx < tx, "{:?}", link.transport());
+            // The combined figure is exactly the sum of the two sides.
+            assert!((link.transfer_energy(bytes) - (tx + rx)).abs() < 1e-15);
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use wearlock_telemetry::MetricsRecorder;
 
 /// Derives the RNG for task `index` of a sweep seeded with
 /// `base_seed`, per the crate's determinism contract.
@@ -152,6 +153,41 @@ impl SweepRunner {
             .collect()
     }
 
+    /// [`SweepRunner::run`] with per-task telemetry: task `i` records
+    /// into a private [`MetricsRecorder`] passed to `f`, and the
+    /// per-task recorders are folded into `metrics` in task-index order
+    /// after the sweep.
+    ///
+    /// The fold order is the determinism contract's extension to
+    /// telemetry: float accumulation is not associative, so merging in
+    /// scheduling order would make histogram sums drift between runs.
+    /// Merging the same per-task partials in the same (index) order —
+    /// including for serial runs, which use the exact same path —
+    /// makes the merged metrics bitwise identical for every worker
+    /// count, just like the results themselves.
+    pub fn run_with_metrics<T, F>(
+        &self,
+        tasks: usize,
+        base_seed: u64,
+        metrics: &MetricsRecorder,
+        f: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut StdRng, &MetricsRecorder) -> T + Sync,
+    {
+        let mut out = Vec::with_capacity(tasks);
+        for (value, local) in self.run(tasks, base_seed, |i, rng| {
+            let local = MetricsRecorder::new();
+            let value = f(i, rng, &local);
+            (value, local)
+        }) {
+            metrics.merge_from(&local);
+            out.push(value);
+        }
+        out
+    }
+
     /// Maps `f` over `items` in parallel: item `i` gets
     /// [`task_rng`]`(base_seed, i)`. Results keep the input order.
     pub fn map<I, T, F>(&self, items: &[I], base_seed: u64, f: F) -> Vec<T>
@@ -222,6 +258,53 @@ mod tests {
     fn zero_tasks_is_empty() {
         let out: Vec<u8> = SweepRunner::new(4).run(0, 5, |_, _| 0);
         assert!(out.is_empty());
+    }
+
+    fn metrics_workload(i: usize, rng: &mut StdRng, metrics: &MetricsRecorder) -> f64 {
+        use wearlock_telemetry::{EventSink, StageSpan};
+        let mut acc = 0.0;
+        for _ in 0..1 + (i % 5) * 20 {
+            let d = rng.gen::<f64>();
+            acc += d;
+            metrics.record_span(&StageSpan {
+                stage: "compute",
+                duration_s: d,
+                watch_energy_j: d * 0.1,
+                phone_energy_j: d * 0.2,
+            });
+        }
+        acc
+    }
+
+    #[test]
+    fn metrics_merge_is_bitwise_deterministic_across_thread_counts() {
+        let reference = MetricsRecorder::new();
+        let ref_out =
+            SweepRunner::serial().run_with_metrics(61, 0xabcd, &reference, metrics_workload);
+        let ref_json = reference.to_json();
+        assert!(reference.snapshot().stages["compute"].latency_s.count > 0);
+        for threads in [2, 3, 8] {
+            let metrics = MetricsRecorder::new();
+            let out =
+                SweepRunner::new(threads).run_with_metrics(61, 0xabcd, &metrics, metrics_workload);
+            assert_eq!(out, ref_out, "results differ at threads={threads}");
+            assert_eq!(
+                metrics.to_json(),
+                ref_json,
+                "metrics differ at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_with_metrics_preserves_run_results() {
+        // The metrics variant must not perturb the RNG stream or the
+        // task ordering of the plain runner.
+        let plain = SweepRunner::new(4).run(40, 0x51, workload);
+        let metrics = MetricsRecorder::new();
+        let observed =
+            SweepRunner::new(4).run_with_metrics(40, 0x51, &metrics, |i, rng, _| workload(i, rng));
+        assert_eq!(plain, observed);
     }
 
     #[test]

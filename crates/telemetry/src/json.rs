@@ -1,0 +1,151 @@
+//! Minimal dependency-free JSON writer with deterministic output.
+//!
+//! The snapshot serializer needs exactly one thing from a JSON library:
+//! byte-for-byte reproducible output, so that "metrics are bitwise
+//! identical across thread counts" is checkable with a string compare.
+//! That rules nothing in and nothing out technically, but a ~100-line
+//! writer avoids a dependency and makes the determinism guarantees
+//! local and auditable:
+//!
+//! * object members render in insertion order (callers insert in a
+//!   deterministic order: funnel order for outcomes, `BTreeMap` order
+//!   for named maps);
+//! * floats use Rust's shortest-roundtrip `Display`, which is a pure
+//!   function of the bit pattern;
+//! * no whitespace, so formatting can never drift.
+//!
+//! This is a writer only — nothing here parses JSON.
+
+/// A JSON number: integers render without a decimal point, floats via
+/// shortest-roundtrip `Display`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Num {
+    U64(u64),
+    F64(f64),
+}
+
+/// An owned JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum JsonValue {
+    Null,
+    Num(Num),
+    /// Only object keys are strings in current snapshots; kept (and
+    /// exercised in tests) so future fields don't need writer changes.
+    #[allow(dead_code)]
+    Str(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Renders the tree as compact JSON (no whitespace).
+    pub(crate) fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Num(Num::U64(n)) => {
+                out.push_str(&n.to_string());
+            }
+            JsonValue::Num(Num::F64(v)) => write_f64(*v, out),
+            JsonValue::Str(s) => write_string(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// JSON has no encoding for non-finite floats; the snapshot never
+/// produces them (empty-histogram min/max are omitted), but map them to
+/// `null` rather than emitting invalid JSON if that ever changes.
+fn write_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        out.push_str(&v.to_string());
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Num(Num::U64(42)).render(), "42");
+        assert_eq!(JsonValue::Num(Num::F64(0.25)).render(), "0.25");
+        assert_eq!(JsonValue::Num(Num::F64(f64::INFINITY)).render(), "null");
+        assert_eq!(
+            JsonValue::Str("a\"b\\c\nd".into()).render(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+        assert_eq!(JsonValue::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn containers_render_in_order() {
+        let doc = JsonValue::Object(vec![
+            ("b".into(), JsonValue::Num(Num::U64(1))),
+            (
+                "a".into(),
+                JsonValue::Array(vec![JsonValue::Null, JsonValue::Num(Num::F64(1.5))]),
+            ),
+        ]);
+        assert_eq!(doc.render(), "{\"b\":1,\"a\":[null,1.5]}");
+    }
+
+    #[test]
+    fn float_display_is_bitwise_stable() {
+        // Shortest-roundtrip formatting is a pure function of the bits:
+        // rendering twice (or after a bits round-trip) is identical.
+        for v in [0.1 + 0.2, 1.0 / 3.0, 1e-300, 12345.6789] {
+            let a = JsonValue::Num(Num::F64(v)).render();
+            let b = JsonValue::Num(Num::F64(f64::from_bits(v.to_bits()))).render();
+            assert_eq!(a, b);
+            assert_eq!(a.parse::<f64>().unwrap().to_bits(), v.to_bits());
+        }
+    }
+}

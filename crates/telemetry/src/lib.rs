@@ -1,0 +1,254 @@
+//! Telemetry for the WearLock unlock pipeline.
+//!
+//! Operating an unlock service — or validating the paper's Figs. 6 and
+//! 10–12 energy/latency claims — needs per-stage visibility into where
+//! attempts die and where time and energy go. This crate provides that
+//! as three layers:
+//!
+//! * [`EventSink`] — the instrumentation point. The session emits a
+//!   [`StageSpan`] for every clock/energy-ledger update and one
+//!   [`AttemptEvent`] per attempt. The sink is chosen by the caller;
+//!   with the no-op [`NullSink`] the `enabled()` guard constant-folds
+//!   and instrumented code compiles down to the uninstrumented code
+//!   (the *zero-overhead-when-disabled* contract, held to "unchanged
+//!   within benchmark noise" by the `wearlock-bench` pipeline benches).
+//! * [`MetricsRecorder`] — a lock-free in-memory aggregator: funnel
+//!   counters per deny reason / unlock path, per-stage latency and
+//!   energy histograms, pilot-SNR and Eb/N0 histograms. Recorders
+//!   merge deterministically, so a parallel sweep that gives each task
+//!   its own recorder and merges them in task-index order produces
+//!   bitwise identical metrics for every worker count (the same
+//!   contract `wearlock-runtime` holds for results).
+//! * [`MetricsSnapshot`] / JSON — a plain-data view of a recorder and a
+//!   dependency-free serializer with fully deterministic output
+//!   (sorted keys, shortest-roundtrip float formatting).
+//!
+//! # Examples
+//!
+//! ```
+//! use wearlock_telemetry::{AttemptEvent, AttemptOutcome, EventSink, MetricsRecorder, StageSpan};
+//!
+//! let metrics = MetricsRecorder::new();
+//! metrics.record_span(&StageSpan {
+//!     stage: "audio:phase1",
+//!     duration_s: 0.12,
+//!     watch_energy_j: 0.0,
+//!     phone_energy_j: 0.0,
+//! });
+//! metrics.record_attempt(&AttemptEvent {
+//!     outcome: AttemptOutcome::UnlockedAcoustic,
+//!     mode: Some("QPSK".into()),
+//!     psnr_db: Some(31.0),
+//!     ebn0_db: Some(24.5),
+//! });
+//! let snap = metrics.snapshot();
+//! assert_eq!(snap.attempts, 1);
+//! assert!(metrics.to_json().contains("\"audio:phase1\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod json;
+mod metrics;
+
+pub use metrics::{HistogramSnapshot, MetricsRecorder, MetricsSnapshot, StageSnapshot, MAX_STAGES};
+
+/// One timed (and energy-attributed) pipeline stage of an attempt.
+///
+/// Mirrors exactly one `VirtualClock::advance` / energy-ledger update
+/// in the session: `duration_s` is the clamped wall-clock the stage
+/// added and the energies are the joules it drew from each battery, so
+/// sink-side totals reconcile with the session's `AttemptReport`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSpan<'a> {
+    /// Stage label (e.g. `"compute:phase1-probing"`), identical to the
+    /// span label on the session's virtual clock.
+    pub stage: &'a str,
+    /// Wall-clock the stage contributed, seconds (never negative).
+    pub duration_s: f64,
+    /// Energy drawn from the watch battery, joules.
+    pub watch_energy_j: f64,
+    /// Energy drawn from the phone battery, joules.
+    pub phone_energy_j: f64,
+}
+
+/// Funnel classification of one finished unlock attempt.
+///
+/// The variants mirror the session's `Outcome` (`UnlockPath` +
+/// `DenyReason`) without depending on the core crate, keeping this
+/// crate a dependency-free leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttemptOutcome {
+    /// Unlocked on motion similarity alone (acoustics skipped).
+    UnlockedMotionSkip,
+    /// Unlocked via the full acoustic token exchange.
+    UnlockedAcoustic,
+    /// Denied: no wireless link to the watch.
+    DeniedNoWirelessLink,
+    /// Denied: acoustic unlocking locked out after repeated failures.
+    DeniedLockedOut,
+    /// Denied: motion filter saw the devices moving differently.
+    DeniedMotionMismatch,
+    /// Denied: probe preamble not detected at the watch.
+    DeniedProbeNotDetected,
+    /// Denied: RMS delay spread indicated a blocked (NLOS) path.
+    DeniedNlosDetected,
+    /// Denied: ambient-noise fingerprints disagreed.
+    DeniedAmbientMismatch,
+    /// Denied: no transmission mode met the BER target.
+    DeniedSnrTooLow,
+    /// Denied: the received token failed verification.
+    DeniedTokenRejected,
+}
+
+impl AttemptOutcome {
+    /// Every outcome, funnel order (unlock paths first, then deny
+    /// reasons in pipeline order).
+    pub const ALL: [AttemptOutcome; 10] = [
+        AttemptOutcome::UnlockedMotionSkip,
+        AttemptOutcome::UnlockedAcoustic,
+        AttemptOutcome::DeniedNoWirelessLink,
+        AttemptOutcome::DeniedLockedOut,
+        AttemptOutcome::DeniedMotionMismatch,
+        AttemptOutcome::DeniedProbeNotDetected,
+        AttemptOutcome::DeniedNlosDetected,
+        AttemptOutcome::DeniedAmbientMismatch,
+        AttemptOutcome::DeniedSnrTooLow,
+        AttemptOutcome::DeniedTokenRejected,
+    ];
+
+    /// Stable machine-readable name (used as the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            AttemptOutcome::UnlockedMotionSkip => "unlocked_motion_skip",
+            AttemptOutcome::UnlockedAcoustic => "unlocked_acoustic",
+            AttemptOutcome::DeniedNoWirelessLink => "denied_no_wireless_link",
+            AttemptOutcome::DeniedLockedOut => "denied_locked_out",
+            AttemptOutcome::DeniedMotionMismatch => "denied_motion_mismatch",
+            AttemptOutcome::DeniedProbeNotDetected => "denied_probe_not_detected",
+            AttemptOutcome::DeniedNlosDetected => "denied_nlos_detected",
+            AttemptOutcome::DeniedAmbientMismatch => "denied_ambient_mismatch",
+            AttemptOutcome::DeniedSnrTooLow => "denied_snr_too_low",
+            AttemptOutcome::DeniedTokenRejected => "denied_token_rejected",
+        }
+    }
+
+    /// Whether the attempt ended with the phone unlocked.
+    pub fn unlocked(self) -> bool {
+        matches!(
+            self,
+            AttemptOutcome::UnlockedMotionSkip | AttemptOutcome::UnlockedAcoustic
+        )
+    }
+
+    pub(crate) fn index(self) -> usize {
+        AttemptOutcome::ALL
+            .iter()
+            .position(|&o| o == self)
+            .expect("ALL is exhaustive")
+    }
+}
+
+/// Summary record of one finished unlock attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttemptEvent {
+    /// Funnel outcome.
+    pub outcome: AttemptOutcome,
+    /// Transmission mode chosen in phase 1, if the attempt got there.
+    pub mode: Option<String>,
+    /// Pilot SNR measured from the probe, dB.
+    pub psnr_db: Option<f64>,
+    /// Eb/N0 the mode decision was based on, dB.
+    pub ebn0_db: Option<f64>,
+}
+
+/// Where instrumented code sends its telemetry.
+///
+/// Implementations must be cheap and non-blocking: the session calls
+/// [`EventSink::record_span`] from the unlock hot path. Instrumented
+/// code guards event *construction* behind [`EventSink::enabled`], so
+/// a sink that returns `false` (like [`NullSink`]) makes the whole
+/// instrumentation compile out to nothing.
+pub trait EventSink: Sync {
+    /// Whether this sink wants events at all. Instrumented code checks
+    /// this before building event records; return `false` to get the
+    /// zero-overhead-when-disabled behaviour.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one pipeline stage of an attempt.
+    fn record_span(&self, span: &StageSpan<'_>);
+
+    /// Records the summary of one finished attempt.
+    fn record_attempt(&self, event: &AttemptEvent);
+}
+
+/// The disabled sink: reports `enabled() == false` and drops events.
+///
+/// This is what un-instrumented entry points pass internally; with it,
+/// every `if sink.enabled() { ... }` guard in the session folds to
+/// dead code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record_span(&self, _span: &StageSpan<'_>) {}
+
+    #[inline(always)]
+    fn record_attempt(&self, _event: &AttemptEvent) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let sink = NullSink;
+        assert!(!sink.enabled());
+        // No-ops by definition; just exercise the calls.
+        sink.record_span(&StageSpan {
+            stage: "x",
+            duration_s: 1.0,
+            watch_energy_j: 0.0,
+            phone_energy_j: 0.0,
+        });
+        sink.record_attempt(&AttemptEvent {
+            outcome: AttemptOutcome::DeniedLockedOut,
+            mode: None,
+            psnr_db: None,
+            ebn0_db: None,
+        });
+    }
+
+    #[test]
+    fn outcome_names_are_unique_and_stable() {
+        let mut names: Vec<&str> = AttemptOutcome::ALL.iter().map(|o| o.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), AttemptOutcome::ALL.len());
+        assert_eq!(AttemptOutcome::UnlockedAcoustic.name(), "unlocked_acoustic");
+    }
+
+    #[test]
+    fn outcome_index_roundtrips() {
+        for (i, o) in AttemptOutcome::ALL.iter().enumerate() {
+            assert_eq!(o.index(), i);
+        }
+    }
+
+    #[test]
+    fn unlocked_classification() {
+        assert!(AttemptOutcome::UnlockedMotionSkip.unlocked());
+        assert!(AttemptOutcome::UnlockedAcoustic.unlocked());
+        assert!(!AttemptOutcome::DeniedTokenRejected.unlocked());
+    }
+}

@@ -1,0 +1,785 @@
+//! Lock-free in-memory metrics aggregation.
+//!
+//! [`MetricsRecorder`] is an [`EventSink`](crate::EventSink) built from
+//! atomics only — no locks on the record path. Counters are plain
+//! `AtomicU64`s; float accumulators (histogram sums, min/max) are
+//! `AtomicU64`s holding `f64` bits updated with CAS loops; the stage
+//! and mode name tables are fixed-capacity arrays of `OnceLock` slots
+//! claimed on first use.
+//!
+//! **Determinism.** Integer counters aggregate identically under any
+//! interleaving, but float sums do not (f64 addition is not
+//! associative). Cross-thread bitwise reproducibility therefore comes
+//! from the *per-task recorder* pattern: give every task of a sweep its
+//! own recorder and combine them with [`MetricsRecorder::merge_from`]
+//! in task-index order, exactly like `wearlock-runtime`'s
+//! `SweepRunner::run_with_metrics` does. Serial and parallel runs then
+//! perform the same float additions in the same order, and the JSON
+//! snapshots match bitwise.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use crate::json::{JsonValue, Num};
+use crate::{AttemptEvent, AttemptOutcome, EventSink, StageSpan};
+
+/// Maximum number of distinct stage labels (and, separately, mode
+/// labels) a recorder tracks. Spans beyond the capacity are counted in
+/// [`MetricsSnapshot::dropped_spans`] rather than silently ignored.
+pub const MAX_STAGES: usize = 64;
+
+/// Number of log₂-spaced histogram buckets. Bucket `k < N-1` covers
+/// values `v ≤ 2^(k - BUCKET_OFFSET)`; the last bucket is unbounded.
+const BUCKETS: usize = 33;
+
+/// `2^-BUCKET_OFFSET` is the upper bound of the first bucket
+/// (≈ 60 ns / 60 nJ — far below anything the cost models produce).
+const BUCKET_OFFSET: i32 = 24;
+
+fn bucket_index(v: f64) -> usize {
+    // NaN lands in bucket 0 too: partial_cmp returns None for it.
+    if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return 0;
+    }
+    let idx = v.log2().ceil() as i64 + BUCKET_OFFSET as i64;
+    idx.clamp(0, (BUCKETS - 1) as i64) as usize
+}
+
+/// Upper bound of bucket `k` (`None` for the unbounded last bucket).
+fn bucket_bound(k: usize) -> Option<f64> {
+    if k + 1 == BUCKETS {
+        None
+    } else {
+        Some(f64::exp2((k as i32 - BUCKET_OFFSET) as f64))
+    }
+}
+
+/// CAS-loop add on an `AtomicU64` holding `f64` bits.
+fn atomic_f64_add(cell: &AtomicU64, v: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + v).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// CAS-loop fold on an `AtomicU64` holding `f64` bits.
+fn atomic_f64_fold(cell: &AtomicU64, v: f64, pick: impl Fn(f64, f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let folded = pick(f64::from_bits(cur), v);
+        if folded.to_bits() == cur {
+            return;
+        }
+        match cell.compare_exchange_weak(
+            cur,
+            folded.to_bits(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => return,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// A lock-free log₂ histogram with count/sum/min/max.
+#[derive(Debug)]
+struct Histogram {
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record(&self, v: f64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum_bits, v);
+        atomic_f64_fold(&self.min_bits, v, f64::min);
+        atomic_f64_fold(&self.max_bits, v, f64::max);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `other` into `self`. The float sum is a single ordered
+    /// addition, so merging recorders in a fixed order is
+    /// deterministic.
+    fn merge_from(&self, other: &Histogram) {
+        let n = other.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return;
+        }
+        self.count.fetch_add(n, Ordering::Relaxed);
+        atomic_f64_add(
+            &self.sum_bits,
+            f64::from_bits(other.sum_bits.load(Ordering::Relaxed)),
+        );
+        atomic_f64_fold(
+            &self.min_bits,
+            f64::from_bits(other.min_bits.load(Ordering::Relaxed)),
+            f64::min,
+        );
+        atomic_f64_fold(
+            &self.max_bits,
+            f64::from_bits(other.max_bits.load(Ordering::Relaxed)),
+            f64::max,
+        );
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let t = theirs.load(Ordering::Relaxed);
+            if t > 0 {
+                mine.fetch_add(t, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: (count > 0).then(|| f64::from_bits(self.min_bits.load(Ordering::Relaxed))),
+            max: (count > 0).then(|| f64::from_bits(self.max_bits.load(Ordering::Relaxed))),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(k, c)| {
+                    let c = c.load(Ordering::Relaxed);
+                    (c > 0).then_some((bucket_bound(k), c))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Plain-data view of a histogram.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Smallest recorded value (`None` when empty).
+    pub min: Option<f64>,
+    /// Largest recorded value (`None` when empty).
+    pub max: Option<f64>,
+    /// Non-empty buckets as `(upper_bound, count)`; `None` bound means
+    /// unbounded (the `+Inf` bucket).
+    pub buckets: Vec<(Option<f64>, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let mut obj = vec![
+            ("count".into(), JsonValue::Num(Num::U64(self.count))),
+            ("sum".into(), JsonValue::Num(Num::F64(self.sum))),
+        ];
+        if let Some(m) = self.min {
+            obj.push(("min".into(), JsonValue::Num(Num::F64(m))));
+        }
+        if let Some(m) = self.max {
+            obj.push(("max".into(), JsonValue::Num(Num::F64(m))));
+        }
+        obj.push((
+            "buckets".into(),
+            JsonValue::Array(
+                self.buckets
+                    .iter()
+                    .map(|&(le, c)| {
+                        JsonValue::Object(vec![
+                            (
+                                "le".into(),
+                                le.map_or(JsonValue::Null, |b| JsonValue::Num(Num::F64(b))),
+                            ),
+                            ("count".into(), JsonValue::Num(Num::U64(c))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        JsonValue::Object(obj)
+    }
+}
+
+/// A named slot claimed on first use (lock-free via `OnceLock`).
+#[derive(Debug)]
+struct Slot<T> {
+    name: String,
+    value: T,
+}
+
+/// Fixed-capacity lock-free name → value table.
+#[derive(Debug)]
+struct Slots<T> {
+    slots: Vec<OnceLock<Slot<T>>>,
+}
+
+impl<T> Slots<T> {
+    fn new() -> Self {
+        Slots {
+            slots: (0..MAX_STAGES).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// Finds the slot for `name`, claiming a free one if absent.
+    /// Returns `None` when the table is full.
+    fn get_or_insert(&self, name: &str, init: impl Fn() -> T) -> Option<&T> {
+        for cell in &self.slots {
+            if let Some(slot) = cell.get() {
+                if slot.name == name {
+                    return Some(&slot.value);
+                }
+                continue;
+            }
+            // Empty slot: try to claim it. On a lost race the winner's
+            // entry may be for a different name — re-check and move on.
+            let _ = cell.set(Slot {
+                name: name.to_string(),
+                value: init(),
+            });
+            let slot = cell.get().expect("set above (by us or a racer)");
+            if slot.name == name {
+                return Some(&slot.value);
+            }
+        }
+        None
+    }
+
+    /// Occupied slots in claim order.
+    fn iter(&self) -> impl Iterator<Item = &Slot<T>> {
+        self.slots.iter().filter_map(|c| c.get())
+    }
+}
+
+/// Per-stage latency and energy histograms.
+#[derive(Debug)]
+struct StageMetrics {
+    latency_s: Histogram,
+    watch_energy_j: Histogram,
+    phone_energy_j: Histogram,
+}
+
+impl StageMetrics {
+    fn new() -> Self {
+        StageMetrics {
+            latency_s: Histogram::new(),
+            watch_energy_j: Histogram::new(),
+            phone_energy_j: Histogram::new(),
+        }
+    }
+}
+
+/// Plain-data view of one stage's metrics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageSnapshot {
+    /// Latency histogram, seconds.
+    pub latency_s: HistogramSnapshot,
+    /// Watch battery energy histogram, joules.
+    pub watch_energy_j: HistogramSnapshot,
+    /// Phone battery energy histogram, joules.
+    pub phone_energy_j: HistogramSnapshot,
+}
+
+/// Lock-free in-memory metrics aggregator (see module docs for the
+/// determinism contract).
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_telemetry::{EventSink, MetricsRecorder, StageSpan};
+///
+/// let a = MetricsRecorder::new();
+/// a.record_span(&StageSpan { stage: "s", duration_s: 0.25, watch_energy_j: 0.1, phone_energy_j: 0.0 });
+/// let b = MetricsRecorder::new();
+/// b.record_span(&StageSpan { stage: "s", duration_s: 0.75, watch_energy_j: 0.0, phone_energy_j: 0.2 });
+/// a.merge_from(&b);
+/// let snap = a.snapshot();
+/// assert_eq!(snap.stages["s"].latency_s.count, 2);
+/// assert!((snap.stages["s"].latency_s.sum - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    attempts: AtomicU64,
+    outcomes: [AtomicU64; AttemptOutcome::ALL.len()],
+    modes: Slots<AtomicU64>,
+    psnr_db: Histogram,
+    ebn0_db: Histogram,
+    stages: Slots<StageMetrics>,
+    dropped_spans: AtomicU64,
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        MetricsRecorder::new()
+    }
+}
+
+impl MetricsRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        MetricsRecorder {
+            attempts: AtomicU64::new(0),
+            outcomes: std::array::from_fn(|_| AtomicU64::new(0)),
+            modes: Slots::new(),
+            psnr_db: Histogram::new(),
+            ebn0_db: Histogram::new(),
+            stages: Slots::new(),
+            dropped_spans: AtomicU64::new(0),
+        }
+    }
+
+    /// Total attempts recorded.
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    /// Count of attempts that ended with `outcome`.
+    pub fn outcome_count(&self, outcome: AttemptOutcome) -> u64 {
+        self.outcomes[outcome.index()].load(Ordering::Relaxed)
+    }
+
+    /// Adds everything recorded in `other` into `self`.
+    ///
+    /// Merging a fixed sequence of recorders in a fixed order is fully
+    /// deterministic — each histogram contributes its sums with exactly
+    /// one float addition per merge.
+    pub fn merge_from(&self, other: &MetricsRecorder) {
+        let attempts = other.attempts.load(Ordering::Relaxed);
+        if attempts > 0 {
+            self.attempts.fetch_add(attempts, Ordering::Relaxed);
+        }
+        for (mine, theirs) in self.outcomes.iter().zip(&other.outcomes) {
+            let t = theirs.load(Ordering::Relaxed);
+            if t > 0 {
+                mine.fetch_add(t, Ordering::Relaxed);
+            }
+        }
+        for slot in other.modes.iter() {
+            let t = slot.value.load(Ordering::Relaxed);
+            if t == 0 {
+                continue;
+            }
+            match self.modes.get_or_insert(&slot.name, || AtomicU64::new(0)) {
+                Some(mine) => {
+                    mine.fetch_add(t, Ordering::Relaxed);
+                }
+                None => {
+                    self.dropped_spans.fetch_add(t, Ordering::Relaxed);
+                }
+            }
+        }
+        self.psnr_db.merge_from(&other.psnr_db);
+        self.ebn0_db.merge_from(&other.ebn0_db);
+        for slot in other.stages.iter() {
+            match self.stages.get_or_insert(&slot.name, StageMetrics::new) {
+                Some(mine) => {
+                    mine.latency_s.merge_from(&slot.value.latency_s);
+                    mine.watch_energy_j.merge_from(&slot.value.watch_energy_j);
+                    mine.phone_energy_j.merge_from(&slot.value.phone_energy_j);
+                }
+                None => {
+                    self.dropped_spans.fetch_add(
+                        slot.value.latency_s.count.load(Ordering::Relaxed),
+                        Ordering::Relaxed,
+                    );
+                }
+            }
+        }
+        let dropped = other.dropped_spans.load(Ordering::Relaxed);
+        if dropped > 0 {
+            self.dropped_spans.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+
+    /// A plain-data copy of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            attempts: self.attempts(),
+            outcomes: AttemptOutcome::ALL
+                .iter()
+                .filter_map(|&o| {
+                    let n = self.outcome_count(o);
+                    (n > 0).then_some((o.name(), n))
+                })
+                .collect(),
+            modes: self
+                .modes
+                .iter()
+                .map(|s| (s.name.clone(), s.value.load(Ordering::Relaxed)))
+                .collect(),
+            psnr_db: self.psnr_db.snapshot(),
+            ebn0_db: self.ebn0_db.snapshot(),
+            stages: self
+                .stages
+                .iter()
+                .map(|s| {
+                    (
+                        s.name.clone(),
+                        StageSnapshot {
+                            latency_s: s.value.latency_s.snapshot(),
+                            watch_energy_j: s.value.watch_energy_j.snapshot(),
+                            phone_energy_j: s.value.phone_energy_j.snapshot(),
+                        },
+                    )
+                })
+                .collect(),
+            dropped_spans: self.dropped_spans.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Serializes [`MetricsRecorder::snapshot`] as deterministic JSON
+    /// (sorted keys, shortest-roundtrip floats).
+    pub fn to_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+impl EventSink for MetricsRecorder {
+    fn record_span(&self, span: &StageSpan<'_>) {
+        match self.stages.get_or_insert(span.stage, StageMetrics::new) {
+            Some(stage) => {
+                stage.latency_s.record(span.duration_s);
+                stage.watch_energy_j.record(span.watch_energy_j);
+                stage.phone_energy_j.record(span.phone_energy_j);
+            }
+            None => {
+                self.dropped_spans.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn record_attempt(&self, event: &AttemptEvent) {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+        self.outcomes[event.outcome.index()].fetch_add(1, Ordering::Relaxed);
+        if let Some(mode) = &event.mode {
+            match self.modes.get_or_insert(mode, || AtomicU64::new(0)) {
+                Some(n) => {
+                    n.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    self.dropped_spans.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if let Some(p) = event.psnr_db {
+            self.psnr_db.record(p);
+        }
+        if let Some(e) = event.ebn0_db {
+            self.ebn0_db.record(e);
+        }
+    }
+}
+
+/// Plain-data view of a [`MetricsRecorder`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// Total attempts recorded.
+    pub attempts: u64,
+    /// Non-zero funnel counters, funnel order, keyed by
+    /// [`AttemptOutcome::name`].
+    pub outcomes: Vec<(&'static str, u64)>,
+    /// Transmission-mode usage counters, keyed by mode name.
+    pub modes: BTreeMap<String, u64>,
+    /// Pilot-SNR histogram, dB.
+    pub psnr_db: HistogramSnapshot,
+    /// Eb/N0 histogram, dB.
+    pub ebn0_db: HistogramSnapshot,
+    /// Per-stage metrics, keyed by stage label.
+    pub stages: BTreeMap<String, StageSnapshot>,
+    /// Spans/modes dropped because a name table overflowed
+    /// [`MAX_STAGES`] — non-zero means the report is incomplete.
+    pub dropped_spans: u64,
+}
+
+impl MetricsSnapshot {
+    /// Sum of a funnel counter by name (0 when absent).
+    pub fn outcome(&self, name: &str) -> u64 {
+        self.outcomes
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |&(_, c)| c)
+    }
+
+    /// Total wall-clock across all stage spans, seconds.
+    pub fn total_latency_s(&self) -> f64 {
+        self.stages.values().map(|s| s.latency_s.sum).sum()
+    }
+
+    /// Total watch battery energy across all stage spans, joules.
+    pub fn total_watch_energy_j(&self) -> f64 {
+        self.stages.values().map(|s| s.watch_energy_j.sum).sum()
+    }
+
+    /// Total phone battery energy across all stage spans, joules.
+    pub fn total_phone_energy_j(&self) -> f64 {
+        self.stages.values().map(|s| s.phone_energy_j.sum).sum()
+    }
+
+    /// Deterministic JSON rendering (sorted keys, shortest-roundtrip
+    /// float formatting; no external dependencies).
+    pub fn to_json(&self) -> String {
+        let funnel = JsonValue::Object(
+            self.outcomes
+                .iter()
+                .map(|&(name, n)| (name.to_string(), JsonValue::Num(Num::U64(n))))
+                .collect(),
+        );
+        let modes = JsonValue::Object(
+            self.modes
+                .iter()
+                .map(|(m, &n)| (m.clone(), JsonValue::Num(Num::U64(n))))
+                .collect(),
+        );
+        let stages = JsonValue::Object(
+            self.stages
+                .iter()
+                .map(|(name, s)| {
+                    (
+                        name.clone(),
+                        JsonValue::Object(vec![
+                            ("latency_s".into(), s.latency_s.to_json()),
+                            ("watch_energy_j".into(), s.watch_energy_j.to_json()),
+                            ("phone_energy_j".into(), s.phone_energy_j.to_json()),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        JsonValue::Object(vec![
+            ("attempts".into(), JsonValue::Num(Num::U64(self.attempts))),
+            ("funnel".into(), funnel),
+            ("modes".into(), modes),
+            ("psnr_db".into(), self.psnr_db.to_json()),
+            ("ebn0_db".into(), self.ebn0_db.to_json()),
+            ("stages".into(), stages),
+            (
+                "dropped_spans".into(),
+                JsonValue::Num(Num::U64(self.dropped_spans)),
+            ),
+        ])
+        .render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(stage: &str, d: f64, w: f64, p: f64) -> StageSpan<'_> {
+        StageSpan {
+            stage,
+            duration_s: d,
+            watch_energy_j: w,
+            phone_energy_j: p,
+        }
+    }
+
+    fn event(outcome: AttemptOutcome) -> AttemptEvent {
+        AttemptEvent {
+            outcome,
+            mode: Some("QPSK".into()),
+            psnr_db: Some(30.0),
+            ebn0_db: Some(22.0),
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_clamped() {
+        assert_eq!(bucket_index(0.0), 0);
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::MAX), BUCKETS - 1);
+        let mut last = 0;
+        for e in -30..12 {
+            let idx = bucket_index((e as f64).exp2() * 1.1);
+            assert!(idx >= last, "bucket index not monotone at 2^{e}");
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_cover_their_index() {
+        for v in [1e-6, 0.003, 0.25, 1.0, 7.5, 200.0] {
+            let k = bucket_index(v);
+            if let Some(le) = bucket_bound(k) {
+                assert!(v <= le, "{v} > bucket bound {le}");
+            }
+            if k > 0 {
+                let below = bucket_bound(k - 1).expect("not the last bucket");
+                assert!(v > below, "{v} should be above lower bound {below}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        for v in [0.001, 0.002, 0.5] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert!((s.sum - 0.503).abs() < 1e-12);
+        assert_eq!(s.min, Some(0.001));
+        assert_eq!(s.max, Some(0.5));
+        assert_eq!(s.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 3);
+        assert!((s.mean() - 0.503 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recorder_counts_funnel_and_modes() {
+        let m = MetricsRecorder::new();
+        m.record_attempt(&event(AttemptOutcome::UnlockedAcoustic));
+        m.record_attempt(&event(AttemptOutcome::UnlockedAcoustic));
+        m.record_attempt(&AttemptEvent {
+            outcome: AttemptOutcome::DeniedSnrTooLow,
+            mode: None,
+            psnr_db: None,
+            ebn0_db: Some(3.0),
+        });
+        assert_eq!(m.attempts(), 3);
+        assert_eq!(m.outcome_count(AttemptOutcome::UnlockedAcoustic), 2);
+        assert_eq!(m.outcome_count(AttemptOutcome::DeniedSnrTooLow), 1);
+        let snap = m.snapshot();
+        assert_eq!(snap.modes["QPSK"], 2);
+        assert_eq!(snap.psnr_db.count, 2);
+        assert_eq!(snap.ebn0_db.count, 3);
+        assert_eq!(snap.outcome("unlocked_acoustic"), 2);
+        assert_eq!(snap.outcome("denied_locked_out"), 0);
+    }
+
+    #[test]
+    fn merge_preserves_counts_and_sums() {
+        // merge(rec(a), rec(b)) vs recording [a; b] directly: counters
+        // agree exactly; float sums agree to within reassociation
+        // error. (Bitwise equality across *groupings* is NOT promised —
+        // f64 addition is not associative — which is exactly why
+        // run_with_metrics uses per-task recorders even serially.)
+        let direct = MetricsRecorder::new();
+        let a = MetricsRecorder::new();
+        let b = MetricsRecorder::new();
+        for (i, sink) in [&a, &b].into_iter().enumerate() {
+            for j in 0..5 {
+                let d = 0.013 * (i * 5 + j + 1) as f64;
+                sink.record_span(&span("stage", d, d * 0.1, d * 0.2));
+                direct.record_span(&span("stage", d, d * 0.1, d * 0.2));
+            }
+            sink.record_attempt(&event(AttemptOutcome::UnlockedAcoustic));
+            direct.record_attempt(&event(AttemptOutcome::UnlockedAcoustic));
+        }
+        let merged = MetricsRecorder::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        let (m, d) = (merged.snapshot(), direct.snapshot());
+        assert_eq!(m.attempts, d.attempts);
+        assert_eq!(m.outcomes, d.outcomes);
+        let (ms, ds) = (&m.stages["stage"], &d.stages["stage"]);
+        assert_eq!(ms.latency_s.count, ds.latency_s.count);
+        assert_eq!(ms.latency_s.buckets, ds.latency_s.buckets);
+        assert_eq!(ms.latency_s.min, ds.latency_s.min);
+        assert_eq!(ms.latency_s.max, ds.latency_s.max);
+        assert!((ms.latency_s.sum - ds.latency_s.sum).abs() < 1e-12);
+        assert!((ms.watch_energy_j.sum - ds.watch_energy_j.sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_order_is_the_contract() {
+        // The determinism contract: the same per-task partition merged
+        // in the same order is bitwise identical, run to run.
+        let parts: Vec<MetricsRecorder> = (0..4)
+            .map(|i| {
+                let m = MetricsRecorder::new();
+                // Values chosen to make float addition order visible.
+                m.record_span(&span("s", 0.1 + 1e-17 + 0.01 * i as f64, 0.3, 0.7));
+                m.record_attempt(&event(AttemptOutcome::UnlockedAcoustic));
+                m
+            })
+            .collect();
+        let first = MetricsRecorder::new();
+        let second = MetricsRecorder::new();
+        for p in &parts {
+            first.merge_from(p);
+            second.merge_from(p);
+        }
+        assert_eq!(first.snapshot(), second.snapshot());
+        assert_eq!(first.to_json(), second.to_json());
+    }
+
+    #[test]
+    fn stage_table_overflow_counts_dropped() {
+        let m = MetricsRecorder::new();
+        for i in 0..MAX_STAGES + 3 {
+            m.record_span(&span(&format!("stage-{i}"), 0.1, 0.0, 0.0));
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.stages.len(), MAX_STAGES);
+        assert_eq!(snap.dropped_spans, 3);
+    }
+
+    #[test]
+    fn shared_recorder_is_thread_safe() {
+        // Counters (integers) aggregate exactly even when shared; this
+        // is the "live service" mode where bitwise float determinism is
+        // not required.
+        let m = MetricsRecorder::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        m.record_span(&span("hot", 0.001, 0.0, 0.0));
+                        m.record_attempt(&event(AttemptOutcome::UnlockedAcoustic));
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot();
+        assert_eq!(snap.attempts, 4000);
+        assert_eq!(snap.stages["hot"].latency_s.count, 4000);
+        assert_eq!(snap.modes["QPSK"], 4000);
+    }
+
+    #[test]
+    fn totals_reconcile() {
+        let m = MetricsRecorder::new();
+        m.record_span(&span("a", 1.0, 0.25, 0.5));
+        m.record_span(&span("b", 2.0, 0.75, 1.5));
+        let snap = m.snapshot();
+        assert!((snap.total_latency_s() - 3.0).abs() < 1e-12);
+        assert!((snap.total_watch_energy_j() - 1.0).abs() < 1e-12);
+        assert!((snap.total_phone_energy_j() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_is_clean() {
+        let snap = MetricsRecorder::new().snapshot();
+        assert_eq!(snap.attempts, 0);
+        assert!(snap.outcomes.is_empty());
+        assert!(snap.stages.is_empty());
+        assert_eq!(snap.psnr_db.min, None);
+        let json = MetricsRecorder::new().to_json();
+        assert!(json.contains("\"attempts\":0"));
+    }
+}

@@ -68,6 +68,30 @@ fn sweep_points_identical_across_thread_counts() {
 }
 
 #[test]
+fn metrics_json_identical_across_thread_counts() {
+    // The telemetry extension of the determinism contract: per-task
+    // recorders merged in task-index order make the metrics JSON —
+    // float histogram sums included — bitwise identical for every
+    // worker count.
+    let metrics_for = |runner: &SweepRunner| -> String {
+        let metrics = wearlock_telemetry::MetricsRecorder::new();
+        wearlock_bench::report::funnel(runner, SEED, 2, &metrics);
+        wearlock_bench::report::fig6_observed(runner, SEED, 10, &metrics);
+        metrics.to_json()
+    };
+    let reference = metrics_for(&SweepRunner::serial());
+    assert!(reference.contains("\"attempts\":"), "{reference}");
+    assert!(reference.contains("unlocked_acoustic"), "{reference}");
+    for threads in [2, 8] {
+        assert_eq!(
+            reference,
+            metrics_for(&SweepRunner::new(threads)),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
 fn repro_rows_identical_across_threads_and_runs() {
     // Formatted report rows — what `repro` actually prints — must be
     // identical across worker counts AND across two same-seed runs
