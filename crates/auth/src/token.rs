@@ -44,7 +44,7 @@ pub fn bits_to_token(bits: &[bool]) -> Option<u32> {
 const COPY_ROTATION: usize = 7;
 
 /// Encodes bits with an `r`-fold repetition code; copy `c` is the
-/// input rotated left by `c·7` positions (see [`COPY_ROTATION`]).
+/// input rotated left by `c·7` positions (see `COPY_ROTATION`).
 pub fn repetition_encode(bits: &[bool], r: usize) -> Vec<bool> {
     let r = r.max(1);
     let n = bits.len();

@@ -65,6 +65,7 @@ fn main() {
         "fig11",
         "fig12",
         "funnel",
+        "resilience",
         "table1",
         "table2",
         "casestudy",
@@ -161,6 +162,12 @@ fn main() {
         print(
             "Case study - five participants, classroom, 10 trials each",
             report::casestudy_observed(SEED, 10, &metrics),
+        );
+    }
+    if want("resilience") {
+        print(
+            "Resilience - unlock rate and delay vs injected fault intensity",
+            report::resilience(&runner, SEED, 8, &metrics),
         );
     }
 

@@ -9,4 +9,5 @@ pub mod fig6;
 pub mod fig789;
 pub mod funnel;
 pub mod report;
+pub mod resilience;
 pub mod table2;

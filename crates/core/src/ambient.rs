@@ -14,7 +14,7 @@ use wearlock_dsp::window::WindowKind;
 const BANDS: usize = 16;
 
 /// Computes a coarse spectral fingerprint of an ambient recording:
-/// log-power in [`BANDS`] bands up to Nyquist, via a Hann STFT.
+/// log-power in `BANDS` bands up to Nyquist, via a Hann STFT.
 ///
 /// Returns `None` when the recording is shorter than one FFT window.
 pub fn ambient_fingerprint(recording: &[f64], sample_rate: SampleRate) -> Option<Vec<f64>> {

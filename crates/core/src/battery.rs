@@ -1,9 +1,9 @@
 //! Daily battery-impact projection.
 //!
-//! The paper measures per-round energy (Fig. 6) and "anticipate[s] more
+//! The paper measures per-round energy (Fig. 6) and "anticipate\[s\] more
 //! energy saving in daily usage". This module projects one day of
 //! realistic usage: smartphone users unlock ~40–50 times per day
-//! (Harbach et al., the paper's [2]), a fraction of which the motion
+//! (Harbach et al., the paper's \[2\]), a fraction of which the motion
 //! filter resolves without any acoustics.
 
 use wearlock_platform::device::{DeviceModel, Workload};
@@ -15,7 +15,7 @@ use crate::offload::step_cost;
 /// A day of unlocking behaviour.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct UsageProfile {
-    /// Unlocks per day (paper's [2] reports ~47 sessions/day median).
+    /// Unlocks per day (paper's \[2\] reports ~47 sessions/day median).
     pub unlocks_per_day: u32,
     /// Fraction resolved by the motion filter alone (no acoustics).
     pub motion_skip_fraction: f64,

@@ -28,6 +28,7 @@ use wearlock_auth::token::{
 };
 use wearlock_auth::LockoutPolicy;
 use wearlock_dsp::units::{Db, Seconds, Spl};
+use wearlock_faults::{FaultInjector, FaultPlan};
 use wearlock_modem::coding::{conv_encode, viterbi_decode, TokenCoding};
 use wearlock_modem::demodulator::bit_error_rate;
 use wearlock_modem::subchannel::{apply_selection, select_data_channels};
@@ -35,10 +36,13 @@ use wearlock_modem::{ModePolicy, OfdmConfig, OfdmDemodulator, OfdmModulator, Tra
 use wearlock_platform::device::Workload;
 use wearlock_platform::keyguard::{Keyguard, KeyguardEvent};
 use wearlock_platform::link::WirelessLink;
+use wearlock_platform::pin::PinEntryModel;
 use wearlock_platform::VirtualClock;
 use wearlock_sensors::activity::{synthesize_different_pair, synthesize_pair};
 use wearlock_sensors::FilterDecision;
-use wearlock_telemetry::{AttemptEvent, AttemptOutcome, EventSink, NullSink, StageSpan};
+use wearlock_telemetry::{
+    AttemptEvent, AttemptOutcome, EventSink, NullSink, RetryAction, RetryEvent, StageSpan,
+};
 
 use crate::ambient::ambient_similarity;
 use crate::config::{ExecutionPlan, WearLockConfig};
@@ -64,6 +68,9 @@ pub enum DenyReason {
     AmbientMismatch,
     /// No transmission mode meets the BER target at the probed SNR.
     SnrTooLow,
+    /// The wireless link dropped between phase 1 and phase 2, so the
+    /// CTS reply and verdict could not be exchanged.
+    LinkDropped,
     /// The received token failed verification.
     TokenRejected,
 }
@@ -107,6 +114,7 @@ pub fn outcome_event(outcome: Outcome) -> AttemptOutcome {
         Outcome::Denied(DenyReason::NlosDetected) => AttemptOutcome::DeniedNlosDetected,
         Outcome::Denied(DenyReason::AmbientMismatch) => AttemptOutcome::DeniedAmbientMismatch,
         Outcome::Denied(DenyReason::SnrTooLow) => AttemptOutcome::DeniedSnrTooLow,
+        Outcome::Denied(DenyReason::LinkDropped) => AttemptOutcome::DeniedLinkDropped,
         Outcome::Denied(DenyReason::TokenRejected) => AttemptOutcome::DeniedTokenRejected,
     }
 }
@@ -308,7 +316,29 @@ impl UnlockSession {
         sink: &dyn EventSink,
         rng: &mut R,
     ) -> AttemptReport {
-        let report = self.run_attempt(env, sink, rng);
+        self.attempt_faulted(env, &FaultPlan::none(), sink, rng)
+    }
+
+    /// [`UnlockSession::attempt_observed`] under an injected
+    /// [`FaultPlan`]. With [`FaultPlan::none()`] every fault hook is a
+    /// dead branch and the pipeline makes byte-identical random draws
+    /// to the plain path (the null-fault contract, enforced by the
+    /// integration tests). Fault randomness (e.g. burst noise) comes
+    /// from seeds stored in the plan, never from `rng`, so a given plan
+    /// perturbs the attempt identically wherever it runs.
+    pub fn attempt_faulted<R: Rng + ?Sized>(
+        &mut self,
+        env: &Environment,
+        faults: &FaultPlan,
+        sink: &dyn EventSink,
+        rng: &mut R,
+    ) -> AttemptReport {
+        let report = self.run_attempt(env, faults, AttemptTuning::default(), sink, rng);
+        Self::emit_attempt(&report, sink);
+        report
+    }
+
+    fn emit_attempt(report: &AttemptReport, sink: &dyn EventSink) {
         if sink.enabled() {
             sink.record_attempt(&AttemptEvent {
                 outcome: outcome_event(report.outcome),
@@ -317,12 +347,13 @@ impl UnlockSession {
                 ebn0_db: report.ebn0.map(Db::value),
             });
         }
-        report
     }
 
     fn run_attempt<R: Rng + ?Sized>(
         &mut self,
         env: &Environment,
+        faults: &FaultPlan,
+        tuning: AttemptTuning,
         sink: &dyn EventSink,
         rng: &mut R,
     ) -> AttemptReport {
@@ -368,8 +399,24 @@ impl UnlockSession {
             deny(&mut report, &ledger, DenyReason::NoWirelessLink);
             return report;
         }
-        let rt = self.link.round_trip(rng);
+        // Link fault: congestion stretches every wireless operation of
+        // this attempt (latency and throughput both degrade).
+        let link = match faults.link.latency_factor {
+            Some(f) => self.link.with_latency_factor(f),
+            None => self.link,
+        };
+        let rt = link.round_trip(rng);
         ledger.step("wireless:handshake", rt, 0.0, 0.0);
+        if faults.link.probe_loss {
+            // Link fault: the RTS control message is lost; the watch
+            // re-requests it after a one-round-trip timeout.
+            ledger.step("wireless:retransmit", link.round_trip(rng), 0.0, 0.0);
+        }
+        if faults.clock.drift_s > 0.0 {
+            // Clock fault: the devices disagree on time, so the watch
+            // starts recording late and the phone waits out the skew.
+            ledger.step("fault:clock-drift", Seconds(faults.clock.drift_s), 0.0, 0.0);
+        }
 
         // 2. Sensor traces (buffered in the background on both devices;
         //    the watch ships ~2 kB) and the motion filter on the phone.
@@ -381,7 +428,7 @@ impl UnlockSession {
                 synthesize_different_pair(phone, watch, env.sensor_samples, rng)
             }
         };
-        let sensor_delay = self.link.file_delay(env.sensor_samples * 12, rng);
+        let sensor_delay = link.file_delay(env.sensor_samples * 12, rng);
         ledger.step("wireless:sensor-transfer", sensor_delay, 0.0, 0.0);
         let dtw_work = Workload::Dtw {
             n: env.sensor_samples,
@@ -419,12 +466,23 @@ impl UnlockSession {
         let ambient_phone = acoustic.record_ambient(4_096, rng);
         let noise_spl = wearlock_dsp::level::spl(&ambient_phone);
         let volume = self.config.required_volume(noise_spl);
+        // Retry escalation: boost the transmit volume above what the
+        // noise floor asks for, clamped to the speaker's ceiling.
+        let volume = if tuning.volume_boost_db > 0.0 {
+            Spl((volume.value() + tuning.volume_boost_db)
+                .min(self.config.speaker.max_spl().value()))
+        } else {
+            volume
+        };
         report.volume = Some(volume);
 
         let sample_rate = self.config.modem.sample_rate();
         let tx = OfdmModulator::new(self.config.modem.clone()).expect("validated at build");
         let probe = tx.probe(self.config.probe_blocks).expect("probe is valid");
-        let probe_rec = acoustic.transmit(&probe, volume, rng);
+        let mut probe_rec = acoustic.transmit(&probe, volume, rng);
+        // Acoustic faults draw from plan-owned seeds, never from `rng`;
+        // a null plan leaves the recording untouched.
+        faults.phase1.apply(&mut probe_rec);
         ledger.step(
             "audio:phase1",
             Seconds(probe.len() as f64 / sample_rate.value() + 0.08),
@@ -480,7 +538,7 @@ impl UnlockSession {
             probe_trim.len(),
             &self.config.phone,
             &self.config.watch,
-            &self.link,
+            &link,
             rng,
         );
         ledger.step_cost("compute:phase1-probing", c1);
@@ -497,6 +555,11 @@ impl UnlockSession {
 
         // NLOS screen: weak preamble or ballooned delay spread.
         let mut policy = self.config.policy;
+        // Retry escalation: accept a higher BER target so a marginal
+        // channel still gets a (low-order) mode instead of a denial.
+        if let Some(relaxed) = tuning.relax_max_ber {
+            policy = ModePolicy::new(relaxed).unwrap_or(policy);
+        }
         if probe_report.sync.preamble_score < self.config.nlos_score_threshold {
             deny(&mut report, &ledger, DenyReason::ProbeNotDetected);
             return report;
@@ -570,6 +633,12 @@ impl UnlockSession {
         // Mode decision from the pilot SNR (CTS reply).
         let ebn0 = probe_report.ebn0(&modem_cfg, TransmissionMode::Qpsk.modulation());
         report.ebn0 = Some(ebn0);
+        if faults.link.drop_after_phase1 {
+            // Link fault: the control channel died after the probe was
+            // analyzed — no CTS can be sent, no verdict returned.
+            deny(&mut report, &ledger, DenyReason::LinkDropped);
+            return report;
+        }
         let mode = match policy.select_mode(ebn0) {
             Some(m) => m,
             None => {
@@ -578,10 +647,17 @@ impl UnlockSession {
             }
         };
         report.mode = Some(mode);
-        ledger.step("wireless:cts", self.link.message_delay(rng), 0.0, 0.0);
+        ledger.step("wireless:cts", link.message_delay(rng), 0.0, 0.0);
 
         // 4. Phase 2: token transmission and verification.
         let tx2 = OfdmModulator::new(modem_cfg.clone()).expect("selection keeps config valid");
+        // Clock fault: the generator ticked while the devices disagreed
+        // on time, so its counter runs ahead of the verifier's. Small
+        // skews land inside the verify window; larger ones force a
+        // rejection followed by the counter resync below.
+        for _ in 0..faults.clock.counter_skew {
+            let _ = self.generator.next_token();
+        }
         let token = self.generator.next_token();
         let token_bits = token_to_bits(token);
         let coded = match self.config.token_coding {
@@ -591,7 +667,8 @@ impl UnlockSession {
         let wave = tx2
             .modulate(&coded, mode.modulation())
             .expect("coded token is non-empty");
-        let token_rec = acoustic.transmit(&wave, volume, rng);
+        let mut token_rec = acoustic.transmit(&wave, volume, rng);
+        faults.phase2.apply(&mut token_rec);
         ledger.step(
             "audio:phase2",
             Seconds(wave.len() as f64 / sample_rate.value() + 0.08),
@@ -632,7 +709,7 @@ impl UnlockSession {
             token_trim.len(),
             &self.config.phone,
             &self.config.watch,
-            &self.link,
+            &link,
             rng,
         );
         ledger.step_cost("compute:phase2-preprocess", c2);
@@ -657,7 +734,7 @@ impl UnlockSession {
             },
         };
         ledger.step_cost("compute:phase2-demod", c3);
-        ledger.step("wireless:verdict", self.link.message_delay(rng), 0.0, 0.0);
+        ledger.step("wireless:verdict", link.message_delay(rng), 0.0, 0.0);
 
         let verified = match rx2.demodulate(token_trimmed, mode.modulation(), coded.len()) {
             Ok(result) => {
@@ -712,32 +789,274 @@ impl UnlockSession {
     /// link, lockout). Mirrors the case study's user behaviour: "they
     /// felt no harassment to repeat the unlocking via acoustics in case
     /// of failures".
+    ///
+    /// This is [`UnlockSession::attempt_resilient`] with no faults, no
+    /// backoff and no PIN surrender — but retries still escalate, so
+    /// after a channel-quality denial the next RTS/CTS probe runs
+    /// louder and under a relaxed BER target instead of repeating the
+    /// exact configuration that just failed.
     pub fn attempt_with_retries<R: Rng + ?Sized>(
         &mut self,
         env: &Environment,
         max_retries: u32,
         rng: &mut R,
     ) -> RetryReport {
-        let mut attempts = Vec::new();
-        let mut total = 0.0;
-        for _ in 0..=max_retries {
-            let report = self.attempt(env, rng);
-            total += report.total_delay.value();
-            let stop = match report.outcome {
-                Outcome::Unlocked(_) => true,
-                Outcome::Denied(DenyReason::NoWirelessLink | DenyReason::LockedOut) => true,
-                Outcome::Denied(_) => false,
-            };
+        let policy = RetryPolicy {
+            max_attempts: max_retries.saturating_add(1),
+            base_backoff: Seconds(0.0),
+            total_budget: Seconds(f64::INFINITY),
+            surrender_to_pin: false,
+            ..RetryPolicy::default()
+        };
+        let rep = self.attempt_resilient(env, &FaultInjector::disabled(), &policy, &NullSink, rng);
+        RetryReport {
+            outcome: rep.attempts.last().expect("at least one attempt").outcome,
+            total_delay: rep.total_delay,
+            attempts: rep.attempts,
+        }
+    }
+
+    /// The budgeted retry ladder: repeat the attempt under `injector`'s
+    /// per-attempt [`FaultPlan`]s until it unlocks, the channel proves
+    /// unfixable, or the budget runs out — then (policy permitting)
+    /// surrender to manual PIN entry.
+    ///
+    /// Ladder rules per failed attempt:
+    ///
+    /// * `NoWirelessLink` — nothing to retry against; hard denial.
+    /// * Channel-quality denials (probe lost, NLOS, SNR too low, token
+    ///   rejected) — **escalate**: the next attempt re-runs the full
+    ///   RTS/CTS probe with a boosted volume and a relaxed BER target.
+    /// * Other denials — plain backoff retry.
+    /// * Budget exhausted (attempts, wall clock) or locked out —
+    ///   **surrender** to PIN when the policy allows, else deny.
+    ///
+    /// Backoff is exponential with a deterministic jitter drawn from
+    /// `rng` (the session's seeded stream), so the whole series is
+    /// reproducible. Every decision is emitted to `sink` as a
+    /// [`RetryEvent`].
+    pub fn attempt_resilient<R: Rng + ?Sized>(
+        &mut self,
+        env: &Environment,
+        injector: &FaultInjector,
+        policy: &RetryPolicy,
+        sink: &dyn EventSink,
+        rng: &mut R,
+    ) -> ResilienceReport {
+        let mut attempts: Vec<AttemptReport> = Vec::new();
+        let mut tuning = AttemptTuning::default();
+        let mut attempt_total = 0.0;
+        let mut backoff_total = 0.0;
+        let mut escalations = 0u32;
+        loop {
+            let faults = injector.plan(attempts.len() as u64);
+            let report = self.run_attempt(env, &faults, tuning, sink, rng);
+            Self::emit_attempt(&report, sink);
+            attempt_total += report.total_delay.value();
+            let outcome = report.outcome;
             attempts.push(report);
-            if stop {
-                break;
+            let tries = attempts.len() as u32;
+
+            let reason = match outcome {
+                Outcome::Unlocked(path) => {
+                    return ResilienceReport {
+                        outcome: ResilientOutcome::Unlocked(path),
+                        attempts,
+                        total_delay: Seconds(attempt_total + backoff_total),
+                        backoff_delay: Seconds(backoff_total),
+                        pin_delay: None,
+                        escalations,
+                    };
+                }
+                Outcome::Denied(DenyReason::NoWirelessLink) => {
+                    // Without the watch link there is no protocol to
+                    // retry and no trusted channel to re-arm; this is
+                    // the one denial even PIN surrender doesn't model.
+                    return ResilienceReport {
+                        outcome: ResilientOutcome::Denied(DenyReason::NoWirelessLink),
+                        attempts,
+                        total_delay: Seconds(attempt_total + backoff_total),
+                        backoff_delay: Seconds(backoff_total),
+                        pin_delay: None,
+                        escalations,
+                    };
+                }
+                Outcome::Denied(reason) => reason,
+            };
+
+            let exhausted = tries >= policy.max_attempts
+                || attempt_total + backoff_total >= policy.total_budget.value()
+                || reason == DenyReason::LockedOut;
+            if exhausted {
+                if policy.surrender_to_pin {
+                    if sink.enabled() {
+                        sink.record_retry(&RetryEvent {
+                            attempt: tries,
+                            outcome: outcome_event(outcome),
+                            action: RetryAction::Surrender,
+                            backoff_s: 0.0,
+                        });
+                    }
+                    let pin = PinEntryModel::four_digit().sample(rng);
+                    self.enter_pin();
+                    return ResilienceReport {
+                        outcome: ResilientOutcome::PinFallback,
+                        attempts,
+                        total_delay: Seconds(attempt_total + backoff_total + pin.value()),
+                        backoff_delay: Seconds(backoff_total),
+                        pin_delay: Some(pin),
+                        escalations,
+                    };
+                }
+                return ResilienceReport {
+                    outcome: ResilientOutcome::Denied(reason),
+                    attempts,
+                    total_delay: Seconds(attempt_total + backoff_total),
+                    backoff_delay: Seconds(backoff_total),
+                    pin_delay: None,
+                    escalations,
+                };
+            }
+
+            let escalate = matches!(
+                reason,
+                DenyReason::ProbeNotDetected
+                    | DenyReason::NlosDetected
+                    | DenyReason::SnrTooLow
+                    | DenyReason::TokenRejected
+            );
+            if escalate {
+                tuning.volume_boost_db += policy.volume_boost_db;
+                tuning.relax_max_ber = policy.relax_max_ber;
+                escalations += 1;
+            }
+            let backoff = if policy.base_backoff.value() > 0.0 {
+                let exp = policy.base_backoff.value()
+                    * policy.backoff_factor.max(1.0).powi(tries as i32 - 1);
+                // Deterministic jitter in [0.5, 1.5)× from the seeded
+                // session stream (only drawn when backoff is enabled,
+                // so zero-backoff callers keep their draw sequence).
+                exp.min(policy.max_backoff.value()) * (0.5 + rng.gen::<f64>())
+            } else {
+                0.0
+            };
+            backoff_total += backoff;
+            if sink.enabled() {
+                sink.record_retry(&RetryEvent {
+                    attempt: tries,
+                    outcome: outcome_event(outcome),
+                    action: if escalate {
+                        RetryAction::Escalate
+                    } else {
+                        RetryAction::Backoff
+                    },
+                    backoff_s: backoff,
+                });
             }
         }
-        RetryReport {
-            outcome: attempts.last().expect("at least one attempt").outcome,
-            attempts,
-            total_delay: Seconds(total),
+    }
+}
+
+/// Per-attempt protocol adjustments the retry ladder accumulates:
+/// escalation turns the knobs the paper's adaptive layer exposes
+/// (transmit volume, BER target) instead of blindly repeating.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct AttemptTuning {
+    /// Extra transmit volume on top of the noise-derived requirement,
+    /// dB (clamped to the speaker ceiling).
+    volume_boost_db: f64,
+    /// Replacement MaxBER target for mode selection, if relaxed.
+    relax_max_ber: Option<f64>,
+}
+
+/// Budget and escalation knobs for [`UnlockSession::attempt_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum acoustic attempts before the ladder gives up.
+    pub max_attempts: u32,
+    /// First backoff duration; `0` disables backoff (and its jitter
+    /// draw) entirely.
+    pub base_backoff: Seconds,
+    /// Multiplier applied to the backoff per further retry (≥ 1).
+    pub backoff_factor: f64,
+    /// Ceiling on a single backoff, pre-jitter.
+    pub max_backoff: Seconds,
+    /// Wall-clock budget (attempts + backoffs) after which the ladder
+    /// stops retrying.
+    pub total_budget: Seconds,
+    /// Volume escalation step after a channel-quality denial, dB.
+    pub volume_boost_db: f64,
+    /// Relaxed MaxBER target escalation switches to (must satisfy
+    /// `ModePolicy::new`, i.e. within (0, 0.5]).
+    pub relax_max_ber: Option<f64>,
+    /// Whether exhaustion falls back to manual PIN entry (which clears
+    /// the lockout) rather than a plain denial.
+    pub surrender_to_pin: bool,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Seconds(0.25),
+            backoff_factor: 2.0,
+            max_backoff: Seconds(2.0),
+            total_budget: Seconds(20.0),
+            volume_boost_db: 6.0,
+            relax_max_ber: Some(0.2),
+            surrender_to_pin: true,
         }
+    }
+}
+
+/// How a resilient unlock series ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResilientOutcome {
+    /// An acoustic (or motion-skip) attempt unlocked the phone.
+    Unlocked(UnlockPath),
+    /// The ladder surrendered and the user entered their PIN. The
+    /// phone is unlocked, but not by WearLock — degradation curves
+    /// count this as an acoustic failure.
+    PinFallback,
+    /// Locked: denied with no PIN fallback.
+    Denied(DenyReason),
+}
+
+impl ResilientOutcome {
+    /// Whether *WearLock* unlocked the phone (PIN fallback is the
+    /// system failing gracefully, not succeeding).
+    pub fn unlocked(&self) -> bool {
+        matches!(self, ResilientOutcome::Unlocked(_))
+    }
+}
+
+/// Result of one [`UnlockSession::attempt_resilient`] series.
+#[derive(Debug, Clone)]
+pub struct ResilienceReport {
+    /// How the series ended.
+    pub outcome: ResilientOutcome,
+    /// Every attempt's full report, in order.
+    pub attempts: Vec<AttemptReport>,
+    /// Wall-clock across attempts, backoffs and any PIN entry.
+    pub total_delay: Seconds,
+    /// Portion of `total_delay` spent backing off.
+    pub backoff_delay: Seconds,
+    /// Time spent on manual PIN entry, when the ladder surrendered.
+    pub pin_delay: Option<Seconds>,
+    /// Number of retries that escalated (volume boost / relaxed BER).
+    pub escalations: u32,
+}
+
+impl ResilienceReport {
+    /// Number of acoustic attempts made.
+    pub fn tries(&self) -> usize {
+        self.attempts.len()
+    }
+
+    /// Whether WearLock unlocked the phone acoustically (or via motion
+    /// skip); PIN fallback counts as `false`.
+    pub fn unlocked(&self) -> bool {
+        self.outcome.unlocked()
     }
 }
 
@@ -1015,6 +1334,186 @@ mod tests {
         let ok = s.attempt(&Environment::default(), &mut rng(1));
         assert!(ok.outcome.unlocked(), "{ok:?}");
         assert!(!ok.data_channels.is_empty());
+    }
+
+    #[test]
+    fn null_faults_match_plain_attempt() {
+        // The null-fault contract at the unit level: a plan with every
+        // fault disabled makes the identical random draws, so the full
+        // diagnostic report is byte-for-byte the same.
+        let mut plain = session();
+        let mut faulted = session();
+        let env = Environment::default();
+        let a = plain.attempt(&env, &mut rng(21));
+        let b = faulted.attempt_faulted(&env, &FaultPlan::none(), &NullSink, &mut rng(21));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn link_drop_fault_denies_between_phases() {
+        let mut s = session();
+        let faults = FaultPlan {
+            link: wearlock_faults::LinkFaults {
+                drop_after_phase1: true,
+                ..wearlock_faults::LinkFaults::none()
+            },
+            ..FaultPlan::none()
+        };
+        // The drop can only bite when the attempt reaches phase 2, so
+        // skip motion-skip unlocks and early denials.
+        let mut r = rng(22);
+        for _ in 0..6 {
+            let rep = s.attempt_faulted(&Environment::default(), &faults, &NullSink, &mut r);
+            s.lockout.reset();
+            if rep.psnr.is_some() && !rep.outcome.unlocked() {
+                assert_eq!(rep.outcome, Outcome::Denied(DenyReason::LinkDropped));
+                // Phase 1 diagnostics survive; no mode was ever chosen.
+                assert!(rep.ebn0.is_some());
+                assert!(rep.mode.is_none());
+                return;
+            }
+        }
+        panic!("no attempt reached the phase boundary");
+    }
+
+    #[test]
+    fn resilient_hard_denial_stops_without_pin() {
+        let mut s = session();
+        let env = Environment::builder().wireless_in_range(false).build();
+        let rep = s.attempt_resilient(
+            &env,
+            &FaultInjector::disabled(),
+            &RetryPolicy::default(),
+            &NullSink,
+            &mut rng(23),
+        );
+        assert_eq!(rep.tries(), 1);
+        assert_eq!(
+            rep.outcome,
+            ResilientOutcome::Denied(DenyReason::NoWirelessLink)
+        );
+        assert!(rep.pin_delay.is_none());
+        assert!(!rep.unlocked());
+    }
+
+    #[test]
+    fn resilient_exhaustion_surrenders_to_pin() {
+        use wearlock_faults::{FaultConfig, FaultIntensity};
+        // Full-intensity faults over an already-marginal channel (4 m
+        // in a cafe, same as `far_away_phone_stays_locked`): the series
+        // should regularly exhaust its budget and fall back to PIN;
+        // whenever it does, the PIN entry must appear in the total
+        // delay and the lockout must be cleared.
+        let env = Environment::builder()
+            .distance(Meters(4.0))
+            .location(Location::Cafe)
+            .build();
+        let mut surrendered = 0;
+        for seed in 0..8u64 {
+            let mut s = session();
+            let injector = FaultInjector::new(FaultConfig::new(seed, FaultIntensity::uniform(1.0)));
+            let rep = s.attempt_resilient(
+                &env,
+                &injector,
+                &RetryPolicy::default(),
+                &NullSink,
+                &mut rng(100 + seed),
+            );
+            if rep.outcome == ResilientOutcome::PinFallback {
+                surrendered += 1;
+                let pin = rep.pin_delay.expect("surrender records pin time").value();
+                assert!(pin > 0.0);
+                let parts: f64 = rep.attempts.iter().map(|a| a.total_delay.value()).sum();
+                assert!(
+                    (rep.total_delay.value() - (parts + rep.backoff_delay.value() + pin)).abs()
+                        < 1e-9,
+                    "{rep:?}"
+                );
+                assert!(!s.lockout().is_locked_out());
+            }
+            assert!(rep.tries() <= RetryPolicy::default().max_attempts as usize);
+        }
+        assert!(surrendered >= 2, "only {surrendered}/8 series surrendered");
+    }
+
+    #[test]
+    fn resilient_retries_escalate_after_channel_denials() {
+        use wearlock_faults::{FaultConfig, FaultIntensity};
+        // Acoustic-only faults produce channel-quality denials; any
+        // retry after one must run at a boosted volume (visible in the
+        // per-attempt reports — later attempts are never quieter).
+        let mut saw_escalation = false;
+        for seed in 0..10u64 {
+            let mut s = session();
+            let injector =
+                FaultInjector::new(FaultConfig::new(seed, FaultIntensity::new(1.0, 0.0, 0.0)));
+            let rep = s.attempt_resilient(
+                &Environment::default(),
+                &injector,
+                &RetryPolicy::default(),
+                &NullSink,
+                &mut rng(200 + seed),
+            );
+            if rep.escalations > 0 {
+                saw_escalation = true;
+                let vols: Vec<f64> = rep
+                    .attempts
+                    .iter()
+                    .filter_map(|a| a.volume.map(|v| v.value()))
+                    .collect();
+                for w in vols.windows(2) {
+                    assert!(w[1] >= w[0] - 1e-9, "volume decreased: {vols:?}");
+                }
+            }
+        }
+        assert!(saw_escalation, "no series ever escalated");
+    }
+
+    #[test]
+    fn backoff_jitter_stays_in_envelope() {
+        use std::sync::Mutex;
+        use wearlock_faults::{FaultConfig, FaultIntensity};
+
+        #[derive(Default)]
+        struct RetryLog(Mutex<Vec<RetryEvent>>);
+        impl EventSink for RetryLog {
+            fn record_span(&self, _: &StageSpan<'_>) {}
+            fn record_attempt(&self, _: &AttemptEvent) {}
+            fn record_retry(&self, e: &RetryEvent) {
+                self.0.lock().unwrap().push(*e);
+            }
+        }
+
+        let policy = RetryPolicy::default();
+        let log = RetryLog::default();
+        let mut events = Vec::new();
+        for seed in 0..6u64 {
+            let mut s = session();
+            let injector = FaultInjector::new(FaultConfig::new(seed, FaultIntensity::uniform(0.8)));
+            s.attempt_resilient(
+                &Environment::default(),
+                &injector,
+                &policy,
+                &log,
+                &mut rng(seed),
+            );
+            events.append(&mut log.0.lock().unwrap());
+        }
+        assert!(!events.is_empty(), "stressed series produced no retries");
+        for e in &events {
+            match e.action {
+                RetryAction::Surrender => assert_eq!(e.backoff_s, 0.0),
+                _ => {
+                    // capped·[0.5, 1.5) with base 0.25 and cap 2.0.
+                    assert!(
+                        e.backoff_s >= policy.base_backoff.value() * 0.5
+                            && e.backoff_s < policy.max_backoff.value() * 1.5,
+                        "backoff {e:?} outside envelope"
+                    );
+                }
+            }
+            assert!(e.attempt >= 1 && e.attempt <= policy.max_attempts);
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! guaranteed to be inside the signal even when the ambient has
 //! impulsive transients (keyboard clicks, dishes) that would fool a
 //! first-above-the-floor edge detector. The signal onset is then the
-//! earliest window near the peak that stays within [`ONSET_DROP_DB`] of
+//! earliest window near the peak that stays within `ONSET_DROP_DB` of
 //! it; precise localisation stays the correlator's job, bounded to the
 //! onset→peak span plus [`SEARCH_PAD_S`] of slack on each side.
 //!
@@ -71,7 +71,7 @@ pub struct TrimWindow {
     /// One past the last kept sample.
     pub end: usize,
     /// Estimated signal onset, relative to `start`: the earliest window
-    /// near the peak whose level stays within [`ONSET_DROP_DB`] of it.
+    /// near the peak whose level stays within `ONSET_DROP_DB` of it.
     pub onset_offset: usize,
     /// Loudest window, relative to `start` — the anchor the keep-window
     /// was built around. Always `>= onset_offset`.

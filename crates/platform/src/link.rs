@@ -84,6 +84,23 @@ impl WirelessLink {
         self.transport
     }
 
+    /// A degraded copy of this link: median latency multiplied and
+    /// throughput divided by `factor` (congestion / interference on the
+    /// radio path slows both directions). Factors ≤ 1 or non-finite are
+    /// treated as no degradation.
+    pub fn with_latency_factor(&self, factor: f64) -> Self {
+        let f = if factor.is_finite() && factor > 1.0 {
+            factor
+        } else {
+            1.0
+        };
+        WirelessLink {
+            message_latency: self.message_latency * f,
+            throughput: self.throughput / f,
+            ..*self
+        }
+    }
+
     /// Radio power draw while transmitting, watts.
     pub fn radio_tx_power_w(&self) -> f64 {
         self.radio_tx_power_w
@@ -235,6 +252,27 @@ mod tests {
             // The combined figure is exactly the sum of the two sides.
             assert!((link.transfer_energy(bytes) - (tx + rx)).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn latency_factor_degrades_both_directions() {
+        let base = WirelessLink::bluetooth();
+        let slow = base.with_latency_factor(4.0);
+        assert!(
+            (slow.file_delay_median(0).value() - 4.0 * base.file_delay_median(0).value()).abs()
+                < 1e-12
+        );
+        // Throughput-bound part also slows by the factor.
+        let bytes = 200_000;
+        let base_xfer = base.file_delay_median(bytes).value();
+        let slow_xfer = slow.file_delay_median(bytes).value();
+        assert!((slow_xfer - 4.0 * base_xfer).abs() < 1e-9, "{slow_xfer}");
+        // Energy model scales with the stretched transfer time.
+        assert!(slow.tx_energy(bytes) > base.tx_energy(bytes));
+        // Degenerate factors are identity.
+        assert_eq!(base.with_latency_factor(0.5), base);
+        assert_eq!(base.with_latency_factor(f64::NAN), base);
+        assert_eq!(base.with_latency_factor(1.0), base);
     }
 
     #[test]

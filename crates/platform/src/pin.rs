@@ -2,7 +2,7 @@
 //!
 //! Fig. 12 compares WearLock's total unlock delay against manually
 //! entering 4- and 6-digit PINs, "aligned to the medians of
-//! measurements in [2]" (Harbach et al., SOUPS 2014). We encode those
+//! measurements in \[2\]" (Harbach et al., SOUPS 2014). We encode those
 //! medians with a per-attempt spread; WearLock must beat them by at
 //! least 17.7% (slow config) / 58.6% (fast config).
 

@@ -2,7 +2,7 @@
 //!
 //! WearLock compares the phone's and watch's accelerometer magnitude
 //! series with DTW so that no explicit time alignment is needed (paper
-//! §V, following uWave [27]). The O(n²) cost is acceptable because the
+//! §V, following uWave \[27\]). The O(n²) cost is acceptable because the
 //! series are 50–150 samples (≈46 ms measured on the watch, Table II).
 
 /// Mean normalization: divides by the series mean, so an accelerometer

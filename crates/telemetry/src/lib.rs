@@ -98,6 +98,8 @@ pub enum AttemptOutcome {
     DeniedAmbientMismatch,
     /// Denied: no transmission mode met the BER target.
     DeniedSnrTooLow,
+    /// Denied: the wireless link dropped between phase 1 and phase 2.
+    DeniedLinkDropped,
     /// Denied: the received token failed verification.
     DeniedTokenRejected,
 }
@@ -105,7 +107,7 @@ pub enum AttemptOutcome {
 impl AttemptOutcome {
     /// Every outcome, funnel order (unlock paths first, then deny
     /// reasons in pipeline order).
-    pub const ALL: [AttemptOutcome; 10] = [
+    pub const ALL: [AttemptOutcome; 11] = [
         AttemptOutcome::UnlockedMotionSkip,
         AttemptOutcome::UnlockedAcoustic,
         AttemptOutcome::DeniedNoWirelessLink,
@@ -115,6 +117,7 @@ impl AttemptOutcome {
         AttemptOutcome::DeniedNlosDetected,
         AttemptOutcome::DeniedAmbientMismatch,
         AttemptOutcome::DeniedSnrTooLow,
+        AttemptOutcome::DeniedLinkDropped,
         AttemptOutcome::DeniedTokenRejected,
     ];
 
@@ -130,6 +133,7 @@ impl AttemptOutcome {
             AttemptOutcome::DeniedNlosDetected => "denied_nlos_detected",
             AttemptOutcome::DeniedAmbientMismatch => "denied_ambient_mismatch",
             AttemptOutcome::DeniedSnrTooLow => "denied_snr_too_low",
+            AttemptOutcome::DeniedLinkDropped => "denied_link_dropped",
             AttemptOutcome::DeniedTokenRejected => "denied_token_rejected",
         }
     }
@@ -163,6 +167,57 @@ pub struct AttemptEvent {
     pub ebn0_db: Option<f64>,
 }
 
+/// What the retry ladder decided after a failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RetryAction {
+    /// Wait out a backoff, then retry unchanged.
+    Backoff,
+    /// Backoff plus escalation: the retry re-probes with a louder
+    /// volume and/or a relaxed BER target, reacting to the denial.
+    Escalate,
+    /// Gave up on acoustics and fell back to manual PIN entry.
+    Surrender,
+}
+
+impl RetryAction {
+    /// Every action, ladder order.
+    pub const ALL: [RetryAction; 3] = [
+        RetryAction::Backoff,
+        RetryAction::Escalate,
+        RetryAction::Surrender,
+    ];
+
+    /// Stable machine-readable name (used as the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            RetryAction::Backoff => "backoff",
+            RetryAction::Escalate => "escalate",
+            RetryAction::Surrender => "surrender",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        RetryAction::ALL
+            .iter()
+            .position(|&a| a == self)
+            .expect("ALL is exhaustive")
+    }
+}
+
+/// One retry-ladder decision, emitted after a failed attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryEvent {
+    /// 1-based index of the attempt that just failed.
+    pub attempt: u32,
+    /// The failed attempt's funnel outcome.
+    pub outcome: AttemptOutcome,
+    /// What the ladder decided.
+    pub action: RetryAction,
+    /// Backoff the decision added before the next attempt, seconds
+    /// (0 for a surrender).
+    pub backoff_s: f64,
+}
+
 /// Where instrumented code sends its telemetry.
 ///
 /// Implementations must be cheap and non-blocking: the session calls
@@ -183,6 +238,10 @@ pub trait EventSink: Sync {
 
     /// Records the summary of one finished attempt.
     fn record_attempt(&self, event: &AttemptEvent);
+
+    /// Records one retry-ladder decision. Defaults to a no-op so sinks
+    /// that predate the resilience layer keep compiling unchanged.
+    fn record_retry(&self, _event: &RetryEvent) {}
 }
 
 /// The disabled sink: reports `enabled() == false` and drops events.

@@ -19,10 +19,10 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 use crate::json::{JsonValue, Num};
-use crate::{AttemptEvent, AttemptOutcome, EventSink, StageSpan};
+use crate::{AttemptEvent, AttemptOutcome, EventSink, RetryAction, RetryEvent, StageSpan};
 
 /// Maximum number of distinct stage labels (and, separately, mode
 /// labels) a recorder tracks. Spans beyond the capacity are counted in
@@ -329,6 +329,12 @@ pub struct MetricsRecorder {
     psnr_db: Histogram,
     ebn0_db: Histogram,
     stages: Slots<StageMetrics>,
+    retry_actions: [AtomicU64; RetryAction::ALL.len()],
+    retry_backoff_s: Histogram,
+    // Gauges are set from orchestration code (after a sweep, on the
+    // merged recorder), never from the record hot path, so a Mutex is
+    // fine here and keeps the lock-free claim for the event path.
+    gauges: Mutex<BTreeMap<String, f64>>,
     dropped_spans: AtomicU64,
 }
 
@@ -348,6 +354,9 @@ impl MetricsRecorder {
             psnr_db: Histogram::new(),
             ebn0_db: Histogram::new(),
             stages: Slots::new(),
+            retry_actions: std::array::from_fn(|_| AtomicU64::new(0)),
+            retry_backoff_s: Histogram::new(),
+            gauges: Mutex::new(BTreeMap::new()),
             dropped_spans: AtomicU64::new(0),
         }
     }
@@ -360,6 +369,22 @@ impl MetricsRecorder {
     /// Count of attempts that ended with `outcome`.
     pub fn outcome_count(&self, outcome: AttemptOutcome) -> u64 {
         self.outcomes[outcome.index()].load(Ordering::Relaxed)
+    }
+
+    /// Count of retry-ladder decisions of the given kind.
+    pub fn retry_count(&self, action: RetryAction) -> u64 {
+        self.retry_actions[action.index()].load(Ordering::Relaxed)
+    }
+
+    /// Sets a named scalar gauge (e.g. a sweep's final unlock rate).
+    ///
+    /// Gauges are for orchestration-level summary values computed after
+    /// aggregation; setting the same name again overwrites.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.gauges
+            .lock()
+            .expect("gauge mutex poisoned")
+            .insert(name.to_string(), value);
     }
 
     /// Adds everything recorded in `other` into `self`.
@@ -409,6 +434,22 @@ impl MetricsRecorder {
                 }
             }
         }
+        for (mine, theirs) in self.retry_actions.iter().zip(&other.retry_actions) {
+            let t = theirs.load(Ordering::Relaxed);
+            if t > 0 {
+                mine.fetch_add(t, Ordering::Relaxed);
+            }
+        }
+        self.retry_backoff_s.merge_from(&other.retry_backoff_s);
+        {
+            let theirs = other.gauges.lock().expect("gauge mutex poisoned");
+            if !theirs.is_empty() {
+                let mut mine = self.gauges.lock().expect("gauge mutex poisoned");
+                for (name, &v) in theirs.iter() {
+                    mine.insert(name.clone(), v);
+                }
+            }
+        }
         let dropped = other.dropped_spans.load(Ordering::Relaxed);
         if dropped > 0 {
             self.dropped_spans.fetch_add(dropped, Ordering::Relaxed);
@@ -447,6 +488,15 @@ impl MetricsRecorder {
                     )
                 })
                 .collect(),
+            retries: RetryAction::ALL
+                .iter()
+                .filter_map(|&a| {
+                    let n = self.retry_count(a);
+                    (n > 0).then_some((a.name(), n))
+                })
+                .collect(),
+            retry_backoff_s: self.retry_backoff_s.snapshot(),
+            gauges: self.gauges.lock().expect("gauge mutex poisoned").clone(),
             dropped_spans: self.dropped_spans.load(Ordering::Relaxed),
         }
     }
@@ -492,6 +542,13 @@ impl EventSink for MetricsRecorder {
             self.ebn0_db.record(e);
         }
     }
+
+    fn record_retry(&self, event: &RetryEvent) {
+        self.retry_actions[event.action.index()].fetch_add(1, Ordering::Relaxed);
+        if event.action != RetryAction::Surrender {
+            self.retry_backoff_s.record(event.backoff_s);
+        }
+    }
 }
 
 /// Plain-data view of a [`MetricsRecorder`].
@@ -510,6 +567,14 @@ pub struct MetricsSnapshot {
     pub ebn0_db: HistogramSnapshot,
     /// Per-stage metrics, keyed by stage label.
     pub stages: BTreeMap<String, StageSnapshot>,
+    /// Non-zero retry-ladder decision counters, ladder order, keyed by
+    /// [`RetryAction::name`].
+    pub retries: Vec<(&'static str, u64)>,
+    /// Histogram of backoff delays the retry ladder imposed, seconds
+    /// (surrenders excluded).
+    pub retry_backoff_s: HistogramSnapshot,
+    /// Orchestration-level summary gauges, keyed by name.
+    pub gauges: BTreeMap<String, f64>,
     /// Spans/modes dropped because a name table overflowed
     /// [`MAX_STAGES`] — non-zero means the report is incomplete.
     pub dropped_spans: u64,
@@ -569,19 +634,42 @@ impl MetricsSnapshot {
                 })
                 .collect(),
         );
-        JsonValue::Object(vec![
+        let mut top = vec![
             ("attempts".into(), JsonValue::Num(Num::U64(self.attempts))),
             ("funnel".into(), funnel),
             ("modes".into(), modes),
             ("psnr_db".into(), self.psnr_db.to_json()),
             ("ebn0_db".into(), self.ebn0_db.to_json()),
             ("stages".into(), stages),
-            (
-                "dropped_spans".into(),
-                JsonValue::Num(Num::U64(self.dropped_spans)),
-            ),
-        ])
-        .render()
+        ];
+        // The retry and gauge sections only exist in the output when
+        // something was recorded, so reports from code that predates
+        // them stay byte-identical.
+        if !self.retries.is_empty() || self.retry_backoff_s.count > 0 {
+            let mut retries: Vec<(String, JsonValue)> = self
+                .retries
+                .iter()
+                .map(|&(name, n)| (name.to_string(), JsonValue::Num(Num::U64(n))))
+                .collect();
+            retries.push(("backoff_s".into(), self.retry_backoff_s.to_json()));
+            top.push(("retries".into(), JsonValue::Object(retries)));
+        }
+        if !self.gauges.is_empty() {
+            top.push((
+                "gauges".into(),
+                JsonValue::Object(
+                    self.gauges
+                        .iter()
+                        .map(|(name, &v)| (name.clone(), JsonValue::Num(Num::F64(v))))
+                        .collect(),
+                ),
+            ));
+        }
+        top.push((
+            "dropped_spans".into(),
+            JsonValue::Num(Num::U64(self.dropped_spans)),
+        ));
+        JsonValue::Object(top).render()
     }
 }
 
@@ -781,5 +869,81 @@ mod tests {
         assert_eq!(snap.psnr_db.min, None);
         let json = MetricsRecorder::new().to_json();
         assert!(json.contains("\"attempts\":0"));
+    }
+
+    #[test]
+    fn retry_and_gauge_sections_absent_until_recorded() {
+        // Byte-compat contract: code that never touches retries or
+        // gauges must produce the exact pre-resilience JSON shape.
+        let m = MetricsRecorder::new();
+        m.record_attempt(&event(AttemptOutcome::UnlockedAcoustic));
+        m.record_span(&span("s", 0.1, 0.0, 0.0));
+        let json = m.to_json();
+        assert!(!json.contains("\"retries\""));
+        assert!(!json.contains("\"gauges\""));
+        assert!(json.ends_with("\"dropped_spans\":0}"));
+    }
+
+    #[test]
+    fn retries_count_and_serialize() {
+        let m = MetricsRecorder::new();
+        m.record_retry(&RetryEvent {
+            attempt: 1,
+            outcome: AttemptOutcome::DeniedProbeNotDetected,
+            action: RetryAction::Backoff,
+            backoff_s: 0.25,
+        });
+        m.record_retry(&RetryEvent {
+            attempt: 2,
+            outcome: AttemptOutcome::DeniedSnrTooLow,
+            action: RetryAction::Escalate,
+            backoff_s: 0.5,
+        });
+        m.record_retry(&RetryEvent {
+            attempt: 3,
+            outcome: AttemptOutcome::DeniedSnrTooLow,
+            action: RetryAction::Surrender,
+            backoff_s: 0.0,
+        });
+        assert_eq!(m.retry_count(RetryAction::Backoff), 1);
+        assert_eq!(m.retry_count(RetryAction::Escalate), 1);
+        assert_eq!(m.retry_count(RetryAction::Surrender), 1);
+        let snap = m.snapshot();
+        // Surrender contributes no backoff sample.
+        assert_eq!(snap.retry_backoff_s.count, 2);
+        assert!((snap.retry_backoff_s.sum - 0.75).abs() < 1e-12);
+        let json = m.to_json();
+        assert!(json.contains("\"retries\":{\"backoff\":1,\"escalate\":1,\"surrender\":1,"));
+    }
+
+    #[test]
+    fn retries_and_gauges_merge() {
+        let a = MetricsRecorder::new();
+        let b = MetricsRecorder::new();
+        a.record_retry(&RetryEvent {
+            attempt: 1,
+            outcome: AttemptOutcome::DeniedSnrTooLow,
+            action: RetryAction::Backoff,
+            backoff_s: 0.25,
+        });
+        b.record_retry(&RetryEvent {
+            attempt: 1,
+            outcome: AttemptOutcome::DeniedSnrTooLow,
+            action: RetryAction::Backoff,
+            backoff_s: 0.5,
+        });
+        a.set_gauge("rate", 0.5);
+        b.set_gauge("rate", 0.75);
+        b.set_gauge("other", 1.0);
+        a.merge_from(&b);
+        assert_eq!(a.retry_count(RetryAction::Backoff), 2);
+        let snap = a.snapshot();
+        assert!((snap.retry_backoff_s.sum - 0.75).abs() < 1e-12);
+        // Later merge wins on gauge name collisions.
+        assert_eq!(snap.gauges["rate"], 0.75);
+        assert_eq!(snap.gauges["other"], 1.0);
+        assert!(a
+            .to_json()
+            .contains("\"gauges\":{\"other\":1,\"rate\":0.75}"));
     }
 }
