@@ -13,7 +13,8 @@ use wearlock_acoustics::channel::AcousticLink;
 use wearlock_acoustics::noise::Location;
 use wearlock_dsp::units::{Meters, Spl};
 use wearlock_modem::config::OfdmConfig;
-use wearlock_modem::{OfdmDemodulator, OfdmModulator};
+use wearlock_modem::constellation::Modulation;
+use wearlock_modem::{DemodFrame, DemodScratch, OfdmDemodulator, OfdmModulator};
 
 fn bench_probe_analysis(c: &mut Criterion) {
     let cfg = OfdmConfig::default();
@@ -29,6 +30,50 @@ fn bench_probe_analysis(c: &mut Criterion) {
     c.bench_function("phase1_probe_analysis", |b| {
         b.iter(|| rx.analyze_probe(std::hint::black_box(&rec)))
     });
+    let mut scratch = DemodScratch::new();
+    c.bench_function("phase1_probe_analysis_scratch", |b| {
+        b.iter(|| rx.analyze_probe_with(std::hint::black_box(&rec), &mut scratch))
+    });
+}
+
+/// Steady-state demodulation: one frame decoded repeatedly into reused
+/// scratch + frame buffers — the zero-allocation hot loop the counting
+/// allocator gates.
+fn bench_demodulate_steady_state(c: &mut Criterion) {
+    let cfg = OfdmConfig::default();
+    let tx = OfdmModulator::new(cfg.clone()).unwrap();
+    let rx = OfdmDemodulator::new(cfg).unwrap();
+    let bits: Vec<bool> = (0..240).map(|i| (i * 13 + 1) % 7 < 3).collect();
+    let wave = tx.modulate(&bits, Modulation::Qpsk).unwrap();
+
+    c.bench_function("demodulate_allocating", |b| {
+        b.iter(|| {
+            rx.demodulate(std::hint::black_box(&wave), Modulation::Qpsk, bits.len())
+                .unwrap()
+        })
+    });
+
+    let mut scratch = DemodScratch::new();
+    let mut frame = DemodFrame::new();
+    let sync = rx.detect_with(&wave, &mut scratch).unwrap();
+    c.bench_function("demodulate_steady_state", |b| {
+        b.iter(|| {
+            let sync = rx
+                .detect_with(std::hint::black_box(&wave), &mut scratch)
+                .unwrap();
+            rx.demodulate_frame_into(
+                &wave,
+                Modulation::Qpsk,
+                bits.len(),
+                sync,
+                &mut scratch,
+                &mut frame,
+            )
+            .unwrap();
+            frame.bits.len()
+        })
+    });
+    let _ = sync;
 }
 
 fn bench_full_attempt(c: &mut Criterion) {
@@ -44,5 +89,10 @@ fn bench_full_attempt(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_probe_analysis, bench_full_attempt);
+criterion_group!(
+    benches,
+    bench_probe_analysis,
+    bench_demodulate_steady_state,
+    bench_full_attempt
+);
 criterion_main!(benches);

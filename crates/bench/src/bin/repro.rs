@@ -21,11 +21,53 @@
 //! per-task recorder merge makes the file bitwise identical for every
 //! `--threads` value too.
 
-use wearlock_bench::report;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use wearlock_bench::{perf, report};
 use wearlock_runtime::SweepRunner;
 use wearlock_telemetry::MetricsRecorder;
 
 const SEED: u64 = 20170605; // deterministic everywhere
+
+// Counting global allocator backing the `perf` experiment's
+// allocations-per-stage report. The library crates forbid unsafe code,
+// so the counter lives here in the binary root and reaches the
+// experiment through a plain snapshot function.
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation unchanged to the system allocator;
+// the counters are plain relaxed atomics with no allocator interaction.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOC_COUNT.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +92,15 @@ fn main() {
         metrics_path = Some(args[i + 1].clone());
         args.drain(i..=i + 1);
     }
+    let mut bench_out = String::from("BENCH_pr4.json");
+    if let Some(i) = args.iter().position(|a| a == "--bench-out") {
+        if i + 1 >= args.len() {
+            eprintln!("--bench-out requires an output path");
+            std::process::exit(2);
+        }
+        bench_out = args[i + 1].clone();
+        args.drain(i..=i + 1);
+    }
     let runner = SweepRunner::new(threads);
     let metrics = MetricsRecorder::new();
 
@@ -69,6 +120,7 @@ fn main() {
         "table1",
         "table2",
         "casestudy",
+        "perf",
     ];
     if let Some(bad) = args.iter().find(|a| !KNOWN.contains(&a.as_str())) {
         eprintln!("unknown experiment '{bad}'; known: {}", KNOWN.join(" "));
@@ -169,6 +221,22 @@ fn main() {
             "Resilience - unlock rate and delay vs injected fault intensity",
             report::resilience(&runner, SEED, 8, &metrics),
         );
+    }
+    // `perf` is opt-in only (never part of `all`): wall times are
+    // host-dependent, so they must not contaminate the deterministic
+    // experiment output. The allocation counts it reports are exact.
+    if args.iter().any(|a| a == "perf") {
+        let stages = perf::measure(200, Some(alloc_snapshot));
+        print(
+            "Perf - steady-state wall time and allocations per pipeline stage",
+            perf::rows(&stages),
+        );
+        let json = perf::to_json(&stages);
+        if let Err(e) = std::fs::write(&bench_out, &json) {
+            eprintln!("failed to write {bench_out}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nperf: wrote {bench_out}");
     }
 
     if let Some(path) = metrics_path {

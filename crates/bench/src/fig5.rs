@@ -20,7 +20,7 @@ use wearlock_dsp::units::{Db, Spl};
 use wearlock_modem::config::OfdmConfig;
 use wearlock_modem::constellation::Modulation;
 use wearlock_modem::demodulator::bit_error_rate;
-use wearlock_modem::{OfdmDemodulator, OfdmModulator};
+use wearlock_modem::{DemodScratch, OfdmDemodulator, OfdmModulator};
 use wearlock_runtime::SweepRunner;
 
 /// One measured point of the Fig. 5 sweep.
@@ -46,6 +46,30 @@ pub fn ber_at_ebn0(
     payload: &[bool],
     rng: &mut StdRng,
 ) -> f64 {
+    ber_at_ebn0_with(
+        tx,
+        rx,
+        modulation,
+        ebn0,
+        payload,
+        rng,
+        &mut DemodScratch::new(),
+    )
+}
+
+/// [`ber_at_ebn0`] with caller-owned receive scratch, so sweep workers
+/// reuse their demodulation buffers across trials. Bitwise identical
+/// results.
+#[allow(clippy::too_many_arguments)]
+pub fn ber_at_ebn0_with(
+    tx: &OfdmModulator,
+    rx: &OfdmDemodulator,
+    modulation: Modulation,
+    ebn0: Db,
+    payload: &[bool],
+    rng: &mut StdRng,
+    scratch: &mut DemodScratch,
+) -> f64 {
     let speaker = SpeakerModel::smartphone().with_ringing(wearlock_dsp::units::Seconds(0.0));
     let mic = MicrophoneModel::ideal().with_jitter(0.05);
     let sr = tx.config().sample_rate();
@@ -70,7 +94,7 @@ pub fn ber_at_ebn0(
     }
     let rec = mic.record(&rec, sr, rng);
 
-    match rx.demodulate(&rec, modulation, payload.len()) {
+    match rx.demodulate_with(&rec, modulation, payload.len(), scratch) {
         Ok(r) => bit_error_rate(payload, &r.bits),
         Err(_) => 0.5,
     }
@@ -94,14 +118,17 @@ pub fn sweep(
         .iter()
         .flat_map(|&m| ebn0_grid.iter().map(move |&e| (m, e)))
         .collect();
-    runner.map(&grid, seed, |&(m, e), rng| {
+    // Per-worker scratch: each worker warms its receive buffers on its
+    // first task and demodulates allocation-free afterwards.
+    runner.run_with_scratch(grid.len(), seed, DemodScratch::new, |i, rng, scratch| {
+        let (m, e) = grid[i];
         let chunk = cfg.bits_per_block(m.bits_per_symbol()) * 10;
         let rounds = bits_per_point.div_ceil(chunk).max(1);
         let mut errs = 0.0;
         let mut total = 0usize;
         for _ in 0..rounds {
             let payload: Vec<bool> = (0..chunk).map(|_| rng.gen()).collect();
-            let ber = ber_at_ebn0(&tx, &rx, m, Db(e), &payload, rng);
+            let ber = ber_at_ebn0_with(&tx, &rx, m, Db(e), &payload, rng, scratch);
             errs += ber * chunk as f64;
             total += chunk;
         }

@@ -11,7 +11,7 @@ use wearlock_dsp::units::{Meters, Spl};
 use wearlock_modem::config::{FrequencyBand, OfdmConfig};
 use wearlock_modem::demodulator::bit_error_rate;
 use wearlock_modem::subchannel::{apply_selection, select_data_channels};
-use wearlock_modem::{ModePolicy, OfdmDemodulator, OfdmModulator, TransmissionMode};
+use wearlock_modem::{DemodScratch, ModePolicy, OfdmDemodulator, OfdmModulator, TransmissionMode};
 use wearlock_runtime::SweepRunner;
 
 /// A (distance, BER) measurement for one mode.
@@ -35,6 +35,7 @@ fn near_ultrasound_link(distance: f64) -> AcousticLink {
         .expect("valid distance")
 }
 
+#[allow(clippy::too_many_arguments)]
 fn measure_ber<R: Rng + ?Sized>(
     tx: &OfdmModulator,
     rx: &OfdmDemodulator,
@@ -43,6 +44,7 @@ fn measure_ber<R: Rng + ?Sized>(
     volume: Spl,
     trials: usize,
     rng: &mut R,
+    scratch: &mut DemodScratch,
 ) -> f64 {
     let mut total = 0.0;
     for _ in 0..trials {
@@ -50,7 +52,7 @@ fn measure_ber<R: Rng + ?Sized>(
         let wave = tx.modulate(&bits, mode.modulation()).expect("non-empty");
         let rec = link.transmit(&wave, volume, rng);
         total += rx
-            .demodulate(&rec, mode.modulation(), bits.len())
+            .demodulate_with(&rec, mode.modulation(), bits.len(), scratch)
             .map(|r| bit_error_rate(&bits, &r.bits))
             .unwrap_or(0.5);
     }
@@ -75,9 +77,10 @@ pub fn fig7(distances: &[f64], trials: usize, seed: u64, runner: &SweepRunner) -
         .into_iter()
         .flat_map(|mode| distances.iter().map(move |&d| (mode, d)))
         .collect();
-    runner.map(&grid, seed, |&(mode, d), rng| {
+    runner.run_with_scratch(grid.len(), seed, DemodScratch::new, |i, rng, scratch| {
+        let (mode, d) = grid[i];
         let link = near_ultrasound_link(d);
-        let ber = measure_ber(&tx, &rx, &link, mode, volume, trials, rng);
+        let ber = measure_ber(&tx, &rx, &link, mode, volume, trials, rng, scratch);
         DistanceBer {
             mode,
             distance: d,
@@ -124,7 +127,8 @@ pub fn fig8(
         .iter()
         .flat_map(|&mb| distances.iter().map(move |&d| (mb, d)))
         .collect();
-    runner.map(&grid, seed, |&(mb, d), rng| {
+    runner.run_with_scratch(grid.len(), seed, DemodScratch::new, |i, rng, scratch| {
+        let (mb, d) = grid[i];
         let policy = ModePolicy::new(mb).expect("valid maxber");
         let link = near_ultrasound_link(d);
         let mut bers = Vec::new();
@@ -136,14 +140,17 @@ pub fn fig8(
             std::collections::BTreeMap::new();
         for _ in 0..trials {
             let probe_rec = link.transmit(&tx.probe(2).expect("valid"), volume, rng);
-            let mode = rx.analyze_probe(&probe_rec).ok().and_then(|rep| {
-                policy.select_mode(rep.ebn0(rx.config(), TransmissionMode::Qpsk.modulation()))
-            });
+            let mode = rx
+                .analyze_probe_with(&probe_rec, scratch)
+                .ok()
+                .and_then(|rep| {
+                    policy.select_mode(rep.ebn0(rx.config(), TransmissionMode::Qpsk.modulation()))
+                });
             match mode {
                 None => aborts += 1,
                 Some(m) => {
                     *mode_votes.entry(m).or_insert(0) += 1;
-                    bers.push(measure_ber(&tx, &rx, &link, m, volume, 1, rng));
+                    bers.push(measure_ber(&tx, &rx, &link, m, volume, 1, rng, scratch));
                 }
             }
         }
@@ -187,57 +194,62 @@ pub fn fig9(max_jammed: usize, trials: usize, seed: u64, runner: &SweepRunner) -
     let volume = Spl(68.0);
     let mode = TransmissionMode::Qpsk;
 
-    runner.run(max_jammed + 1, seed, |jammed, rng| {
-        let mut fixed_total = 0.0;
-        let mut selected_total = 0.0;
-        for _ in 0..trials {
-            // The jammer picks random data channels each time.
-            let mut bins = cfg.data_channels().to_vec();
-            for i in (1..bins.len()).rev() {
-                bins.swap(i, rng.gen_range(0..=i));
-            }
-            let jam_bins: Vec<usize> = bins.into_iter().take(jammed).collect();
-            let noise = NoiseModel::Mixture(vec![
-                NoiseModel::White { spl: Spl(20.0) },
-                NoiseModel::Tones {
-                    freqs: jam_bins.iter().map(|&k| cfg.channel_frequency(k)).collect(),
-                    spl: if jam_bins.is_empty() {
-                        Spl(-120.0)
-                    } else {
-                        Spl(58.0)
-                    },
-                },
-            ]);
-            let link = AcousticLink::builder()
-                .distance(Meters(0.15))
-                .noise(noise)
-                .build()
-                .expect("valid distance");
-
-            fixed_total += measure_ber(&tx, &rx, &link, mode, volume, 1, rng);
-
-            let probe_rec = link.transmit(&tx.probe(2).expect("valid"), volume, rng);
-            let sel_ber = match rx.analyze_probe(&probe_rec) {
-                Ok(rep) => {
-                    match select_data_channels(&cfg, &rep.noise_spectrum, 12)
-                        .and_then(|sel| apply_selection(&cfg, &sel))
-                    {
-                        Ok(cfg2) => {
-                            let tx2 = OfdmModulator::new(cfg2.clone()).expect("valid");
-                            let rx2 = OfdmDemodulator::new(cfg2).expect("valid");
-                            measure_ber(&tx2, &rx2, &link, mode, volume, 1, rng)
-                        }
-                        Err(_) => 0.5,
-                    }
+    runner.run_with_scratch(
+        max_jammed + 1,
+        seed,
+        DemodScratch::new,
+        |jammed, rng, scratch| {
+            let mut fixed_total = 0.0;
+            let mut selected_total = 0.0;
+            for _ in 0..trials {
+                // The jammer picks random data channels each time.
+                let mut bins = cfg.data_channels().to_vec();
+                for i in (1..bins.len()).rev() {
+                    bins.swap(i, rng.gen_range(0..=i));
                 }
-                Err(_) => 0.5,
-            };
-            selected_total += sel_ber;
-        }
-        JammingBer {
-            jammed,
-            ber_fixed: fixed_total / trials.max(1) as f64,
-            ber_selected: selected_total / trials.max(1) as f64,
-        }
-    })
+                let jam_bins: Vec<usize> = bins.into_iter().take(jammed).collect();
+                let noise = NoiseModel::Mixture(vec![
+                    NoiseModel::White { spl: Spl(20.0) },
+                    NoiseModel::Tones {
+                        freqs: jam_bins.iter().map(|&k| cfg.channel_frequency(k)).collect(),
+                        spl: if jam_bins.is_empty() {
+                            Spl(-120.0)
+                        } else {
+                            Spl(58.0)
+                        },
+                    },
+                ]);
+                let link = AcousticLink::builder()
+                    .distance(Meters(0.15))
+                    .noise(noise)
+                    .build()
+                    .expect("valid distance");
+
+                fixed_total += measure_ber(&tx, &rx, &link, mode, volume, 1, rng, scratch);
+
+                let probe_rec = link.transmit(&tx.probe(2).expect("valid"), volume, rng);
+                let sel_ber = match rx.analyze_probe_with(&probe_rec, scratch) {
+                    Ok(rep) => {
+                        match select_data_channels(&cfg, &rep.noise_spectrum, 12)
+                            .and_then(|sel| apply_selection(&cfg, &sel))
+                        {
+                            Ok(cfg2) => {
+                                let tx2 = OfdmModulator::new(cfg2.clone()).expect("valid");
+                                let rx2 = OfdmDemodulator::new(cfg2).expect("valid");
+                                measure_ber(&tx2, &rx2, &link, mode, volume, 1, rng, scratch)
+                            }
+                            Err(_) => 0.5,
+                        }
+                    }
+                    Err(_) => 0.5,
+                };
+                selected_total += sel_ber;
+            }
+            JammingBer {
+                jammed,
+                ber_fixed: fixed_total / trials.max(1) as f64,
+                ber_selected: selected_total / trials.max(1) as f64,
+            }
+        },
+    )
 }

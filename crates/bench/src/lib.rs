@@ -8,6 +8,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig789;
 pub mod funnel;
+pub mod perf;
 pub mod report;
 pub mod resilience;
 pub mod table2;

@@ -32,7 +32,10 @@ use wearlock_faults::{FaultInjector, FaultPlan};
 use wearlock_modem::coding::{conv_encode, viterbi_decode, TokenCoding};
 use wearlock_modem::demodulator::bit_error_rate;
 use wearlock_modem::subchannel::{apply_selection, select_data_channels};
-use wearlock_modem::{ModePolicy, OfdmConfig, OfdmDemodulator, OfdmModulator, TransmissionMode};
+use wearlock_modem::{
+    DemodScratch, ModePolicy, OfdmConfig, OfdmDemodulator, OfdmModulator, TransmissionMode,
+    TxScratch,
+};
 use wearlock_platform::device::Workload;
 use wearlock_platform::keyguard::{Keyguard, KeyguardEvent};
 use wearlock_platform::link::WirelessLink;
@@ -228,6 +231,11 @@ pub struct UnlockSession {
     lockout: LockoutPolicy,
     keyguard: Keyguard,
     link: WirelessLink,
+    /// Receive-side working memory, reused across attempts so repeated
+    /// unlocks (retry ladders, funnels) demodulate allocation-free.
+    scratch: DemodScratch,
+    /// Transmit-side working memory for probe and token synthesis.
+    tx_scratch: TxScratch,
 }
 
 impl UnlockSession {
@@ -254,6 +262,8 @@ impl UnlockSession {
             verifier,
             config,
             link,
+            scratch: DemodScratch::new(),
+            tx_scratch: TxScratch::new(),
         })
     }
 
@@ -478,7 +488,9 @@ impl UnlockSession {
 
         let sample_rate = self.config.modem.sample_rate();
         let tx = OfdmModulator::new(self.config.modem.clone()).expect("validated at build");
-        let probe = tx.probe(self.config.probe_blocks).expect("probe is valid");
+        let mut probe = Vec::new();
+        tx.probe_into(self.config.probe_blocks, &mut self.tx_scratch, &mut probe)
+            .expect("probe is valid");
         let mut probe_rec = acoustic.transmit(&probe, volume, rng);
         // Acoustic faults draw from plan-owned seeds, never from `rng`;
         // a null plan leaves the recording untouched.
@@ -543,7 +555,7 @@ impl UnlockSession {
         );
         ledger.step_cost("compute:phase1-probing", c1);
 
-        let probe_report = match rx.analyze_probe(probe_trimmed) {
+        let probe_report = match rx.analyze_probe_with(probe_trimmed, &mut self.scratch) {
             Ok(r) => r,
             Err(_) => {
                 deny(&mut report, &ledger, DenyReason::ProbeNotDetected);
@@ -664,8 +676,8 @@ impl UnlockSession {
             TokenCoding::Repetition(r) => repetition_encode(&token_bits, r),
             TokenCoding::Convolutional => conv_encode(&token_bits),
         };
-        let wave = tx2
-            .modulate(&coded, mode.modulation())
+        let mut wave = Vec::new();
+        tx2.modulate_into(&coded, mode.modulation(), &mut self.tx_scratch, &mut wave)
             .expect("coded token is non-empty");
         let mut token_rec = acoustic.transmit(&wave, volume, rng);
         faults.phase2.apply(&mut token_rec);
@@ -736,7 +748,12 @@ impl UnlockSession {
         ledger.step_cost("compute:phase2-demod", c3);
         ledger.step("wireless:verdict", link.message_delay(rng), 0.0, 0.0);
 
-        let verified = match rx2.demodulate(token_trimmed, mode.modulation(), coded.len()) {
+        let verified = match rx2.demodulate_with(
+            token_trimmed,
+            mode.modulation(),
+            coded.len(),
+            &mut self.scratch,
+        ) {
             Ok(result) => {
                 report.measured_ber = Some(bit_error_rate(&coded, &result.bits));
                 let decoded = match self.config.token_coding {

@@ -1,0 +1,180 @@
+//! Process-wide FFT plan cache.
+//!
+//! Planning an [`Fft`] computes a bit-reversal table and a twiddle
+//! table; doing that inside every correlation call (as the seed
+//! implementation did) dominates short-transform cost and allocates on
+//! the hot path. The cache hands out `Arc`-shared plans keyed by size,
+//! so each size is planned exactly once per process and every worker
+//! thread, modulator and demodulator borrows the same immutable tables.
+//!
+//! The cache is behind a `Mutex`, but the lock is only touched when a
+//! component *acquires* a plan (construction time, or the first
+//! correlation at a new size) — never per transform. Plans themselves
+//! are immutable and `Send + Sync`, so sharing one `Arc<Fft>` across
+//! the sweep runner's workers is free.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::error::DspError;
+use crate::fft::Fft;
+use crate::realfft::RealFft;
+
+/// A size-keyed cache of FFT plans.
+///
+/// Most callers want the process-global cache via [`planned`] /
+/// [`planned_real`]; a private cache is useful in tests or when plan
+/// lifetime must be scoped.
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_dsp::FftCache;
+///
+/// let mut cache = FftCache::new();
+/// let a = cache.get(256)?;
+/// let b = cache.get(256)?;
+/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // planned once
+/// # Ok::<(), wearlock_dsp::DspError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct FftCache {
+    complex: HashMap<usize, Arc<Fft>>,
+    real: HashMap<usize, Arc<RealFft>>,
+}
+
+impl FftCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the complex plan for `size`, planning it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidFftSize`] for invalid sizes (nothing
+    /// is cached in that case).
+    pub fn get(&mut self, size: usize) -> Result<Arc<Fft>, DspError> {
+        if let Some(plan) = self.complex.get(&size) {
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(Fft::new(size)?);
+        self.complex.insert(size, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Returns the real-input plan for `size`, planning it on first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidFftSize`] for invalid sizes.
+    pub fn get_real(&mut self, size: usize) -> Result<Arc<RealFft>, DspError> {
+        if let Some(plan) = self.real.get(&size) {
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(RealFft::new(size)?);
+        self.real.insert(size, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Number of distinct plans currently cached (complex + real).
+    pub fn len(&self) -> usize {
+        self.complex.len() + self.real.len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.complex.is_empty() && self.real.is_empty()
+    }
+}
+
+fn global() -> &'static Mutex<FftCache> {
+    static CACHE: OnceLock<Mutex<FftCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(FftCache::new()))
+}
+
+/// Returns the process-global complex plan for `size`.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidFftSize`] for invalid sizes.
+///
+/// # Panics
+///
+/// Panics if the global cache mutex was poisoned (a planner panicked),
+/// which cannot happen through this API.
+pub fn planned(size: usize) -> Result<Arc<Fft>, DspError> {
+    global().lock().expect("fft cache poisoned").get(size)
+}
+
+/// Returns the process-global real-input plan for `size`.
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidFftSize`] for invalid sizes.
+///
+/// # Panics
+///
+/// Panics if the global cache mutex was poisoned (a planner panicked),
+/// which cannot happen through this API.
+pub fn planned_real(size: usize) -> Result<Arc<RealFft>, DspError> {
+    global().lock().expect("fft cache poisoned").get_real(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_by_size() {
+        let mut cache = FftCache::new();
+        assert!(cache.is_empty());
+        let a = cache.get(64).unwrap();
+        let b = cache.get(64).unwrap();
+        let c = cache.get(128).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn real_and_complex_plans_are_separate() {
+        let mut cache = FftCache::new();
+        let _ = cache.get(64).unwrap();
+        let _ = cache.get_real(64).unwrap();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn invalid_sizes_are_not_cached() {
+        let mut cache = FftCache::new();
+        assert!(cache.get(12).is_err());
+        assert!(cache.get_real(2).is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn global_cache_shares_plans() {
+        let a = planned(512).unwrap();
+        let b = planned(512).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        let r = planned_real(512).unwrap();
+        assert_eq!(r.size(), 512);
+    }
+
+    #[test]
+    fn global_plans_transform_like_fresh_ones() {
+        let plan = planned(32).unwrap();
+        let fresh = Fft::new(32).unwrap();
+        let x: Vec<crate::Complex> = (0..32)
+            .map(|i| crate::Complex::new(i as f64, -(i as f64)))
+            .collect();
+        let a = plan.forward(&x).unwrap();
+        let b = fresh.forward(&x).unwrap();
+        for (u, v) in a.iter().zip(&b) {
+            assert_eq!(u.re.to_bits(), v.re.to_bits());
+            assert_eq!(u.im.to_bits(), v.im.to_bits());
+        }
+    }
+}

@@ -7,8 +7,34 @@
 //! delay profile from the correlation magnitude around the peak to
 //! compute the RMS delay spread for NLOS filtering (§III "NLOS
 //! filtering").
+//!
+//! ## Allocation discipline
+//!
+//! The FFT correlators come in two forms. The classic entry points
+//! ([`cross_correlate_fft`], [`normalized_cross_correlate_fft`]) keep
+//! their original allocating signatures but now run on a thread-local
+//! [`CorrelationWorkspace`], so they no longer re-plan an FFT or
+//! allocate scratch per call — only the returned `Vec` is fresh. The
+//! `_into` variants ([`cross_correlate_fft_into`],
+//! [`normalized_cross_correlate_fft_into`]) take an explicit workspace
+//! and output vector and perform **zero** allocations once the
+//! workspace has warmed up to the template/signal sizes in play.
+//!
+//! Both produce bitwise identical scores to the seed implementation:
+//! the workspace only changes *where* buffers live, never the sequence
+//! of floating-point operations. The `_real_into` variants additionally
+//! route through the packed [`crate::RealFft`] (~2× fewer butterflies);
+//! they are a few ulps off the classic path and therefore opt-in — see
+//! the module docs of [`crate::realfft`].
 
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::cache;
+use crate::complex::Complex;
 use crate::error::DspError;
+use crate::fft::Fft;
+use crate::realfft::RealFft;
 use crate::units::SampleRate;
 
 /// Raw (unnormalized) linear cross-correlation of `signal` with
@@ -43,9 +69,11 @@ pub fn cross_correlate(signal: &[f64], template: &[f64]) -> Result<Vec<f64>, Dsp
         .collect())
 }
 
-/// Per-lag normalization denominators `‖window‖·‖template‖` with the
-/// AGC-like energy floor, shared by the direct and FFT normalized
-/// correlators so both divide by *bitwise identical* values.
+/// Per-lag rolling window energies plus the AGC-like energy floor,
+/// shared by the direct and FFT normalized correlators so both divide
+/// by *bitwise identical* denominators
+/// (`energy.max(floor).sqrt() * ‖template‖`, formed at the point of
+/// use so the energies are only traversed once).
 ///
 /// Pure per-window normalization is scale-invariant, which would let a
 /// window 80 dB below the recording's loudest content score like a
@@ -56,32 +84,97 @@ pub fn cross_correlate(signal: &[f64], template: &[f64]) -> Result<Vec<f64>, Dsp
 /// The rolling window energy gives O(n) normalization; the incremental
 /// update accumulates floating-point error, so recompute exactly every
 /// 1024 lags and clamp at zero.
-fn window_denominators(signal: &[f64], m: usize, t_norm: f64) -> Vec<f64> {
+///
+/// The floor scan and the emitted energies are two independent
+/// recurrences (the floor scan never recomputes, so their values drift
+/// apart between recompute points). One fused pass maintains both
+/// accumulators — each sees exactly the operation sequence the original
+/// two-pass code gave it, so every emitted energy keeps its bits —
+/// while halving the passes over the signal and sharing the squared
+/// sample terms between the recurrences.
+fn window_energies_into(signal: &[f64], m: usize, out: &mut Vec<f64>) -> f64 {
     let total_energy: f64 = signal.iter().map(|x| x * x).sum();
-    let mut max_win = 0.0f64;
-    {
-        let mut e: f64 = signal[..m].iter().map(|x| x * x).sum();
-        max_win = max_win.max(e);
-        for i in 0..signal.len() - m {
-            e = (e + signal[i + m] * signal[i + m] - signal[i] * signal[i]).max(0.0);
-            max_win = max_win.max(e);
-        }
-    }
-    let energy_floor = (max_win * 1e-6).max(total_energy * 1e-15);
+    let n_lags = signal.len() - m + 1;
+    out.clear();
+    out.resize(n_lags, 0.0);
 
-    let mut win_energy: f64 = signal[..m].iter().map(|x| x * x).sum();
-    let mut out = Vec::with_capacity(signal.len() - m + 1);
-    for i in 0..=signal.len() - m {
-        if i % 1024 == 0 && i > 0 {
+    let seed_energy: f64 = signal[..m].iter().map(|x| x * x).sum();
+    let mut max_win = 0.0f64.max(seed_energy);
+    let mut floor_energy = seed_energy;
+    let mut win_energy = seed_energy;
+    // Chunked by the recompute cadence so the inner loop is branch-lean;
+    // chunk boundaries land exactly on the original `i % 1024 == 0`
+    // recompute points.
+    let mut i = 0;
+    while i < n_lags {
+        if i > 0 {
             win_energy = signal[i..i + m].iter().map(|x| x * x).sum();
         }
-        out.push(win_energy.max(energy_floor).sqrt() * t_norm);
-        if i + m < signal.len() {
-            win_energy =
-                (win_energy + signal[i + m] * signal[i + m] - signal[i] * signal[i]).max(0.0);
+        let chunk_end = (i + 1024).min(n_lags);
+        for j in i..chunk_end {
+            out[j] = win_energy;
+            if j + m < signal.len() {
+                let entering = signal[j + m] * signal[j + m];
+                let leaving = signal[j] * signal[j];
+                floor_energy = (floor_energy + entering - leaving).max(0.0);
+                max_win = max_win.max(floor_energy);
+                win_energy = (win_energy + entering - leaving).max(0.0);
+            }
         }
+        i = chunk_end;
     }
-    out
+
+    (max_win * 1e-6).max(total_energy * 1e-15)
+}
+
+/// Prefix-sum window energies for the packed-real fast path: a single
+/// serial pass builds the running energy, then every window energy is
+/// one vectorizable subtraction instead of a latency-bound rolling
+/// recurrence.
+///
+/// Prefix differences cancel, so a window 60 dB below the running
+/// total carries ~1e-10 relative error where the rolling/recompute
+/// version stays exact — windows that quiet sit at the AGC floor
+/// anyway, and the packed-real correlator's contract is ≤1e-9 score
+/// proximity, not bitwise equality, so the cheaper geometry is sound
+/// there (and only there: the classic path must keep
+/// [`window_energies_into`] bit for bit).
+fn window_energies_fast_into(
+    signal: &[f64],
+    m: usize,
+    prefix: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) -> f64 {
+    let n = signal.len();
+    let n_lags = n - m + 1;
+    prefix.clear();
+    prefix.reserve(n + 1);
+    prefix.push(0.0);
+    let mut acc = 0.0f64;
+    for &x in signal {
+        acc += x * x;
+        prefix.push(acc);
+    }
+    out.clear();
+    out.resize(n_lags, 0.0);
+    let mut max_win = 0.0f64;
+    for (i, slot) in out.iter_mut().enumerate() {
+        let e = (prefix[i + m] - prefix[i]).max(0.0);
+        *slot = e;
+        max_win = max_win.max(e);
+    }
+    (max_win * 1e-6).max(prefix[n] * 1e-15)
+}
+
+/// Divides each raw correlation dot by its window's denominator
+/// (`energy.max(floor).sqrt() * ‖template‖`), in place. One pass forms
+/// the denominator and applies it, bitwise matching the former
+/// materialize-then-divide sequence.
+fn normalize_by_energies(dots: &mut [f64], energies: &[f64], energy_floor: f64, t_norm: f64) {
+    for (dot, &e) in dots.iter_mut().zip(energies) {
+        let denom = e.max(energy_floor).sqrt() * t_norm;
+        *dot = if denom > 0.0 { *dot / denom } else { 0.0 };
+    }
 }
 
 /// Validates the correlator inputs and returns `‖template‖`.
@@ -117,9 +210,11 @@ fn check_inputs(signal: &[f64], template: &[f64]) -> Result<f64, DspError> {
 pub fn normalized_cross_correlate(signal: &[f64], template: &[f64]) -> Result<Vec<f64>, DspError> {
     let t_norm = check_inputs(signal, template)?;
     let m = template.len();
-    let denoms = window_denominators(signal, m, t_norm);
-    let mut out = Vec::with_capacity(denoms.len());
-    for (i, &denom) in denoms.iter().enumerate() {
+    let mut energies = Vec::new();
+    let floor = window_energies_into(signal, m, &mut energies);
+    let mut out = Vec::with_capacity(energies.len());
+    for (i, &e) in energies.iter().enumerate() {
+        let denom = e.max(floor).sqrt() * t_norm;
         let dot: f64 = signal[i..i + m]
             .iter()
             .zip(template)
@@ -128,6 +223,327 @@ pub fn normalized_cross_correlate(signal: &[f64], template: &[f64]) -> Result<Ve
         out.push(if denom > 0.0 { dot / denom } else { 0.0 });
     }
     Ok(out)
+}
+
+/// Reusable scratch for the FFT correlators: cached FFT plans, a
+/// memoized template spectrum, and the block/denominator buffers the
+/// overlap–save loop needs.
+///
+/// A workspace starts empty and grows to the sizes it sees; after the
+/// first call at a given template/signal size ("warmup") subsequent
+/// calls through the `_into` correlators perform no heap allocation.
+/// The template spectrum is memoized by exact bit comparison, so
+/// repeated searches for the same preamble (the modem's steady state)
+/// skip the template transform entirely.
+///
+/// The workspace is plain mutable state — keep one per worker thread.
+/// It is `Send`, so per-worker scratch can be created by a
+/// `SweepRunner`-style pool and reused across tasks.
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_dsp::correlate::{cross_correlate_fft_into, CorrelationWorkspace};
+///
+/// let sig: Vec<f64> = (0..500).map(|i| (i as f64 * 0.3).sin()).collect();
+/// let tpl: Vec<f64> = (0..64).map(|i| (i as f64 * 0.3).sin()).collect();
+/// let mut ws = CorrelationWorkspace::new();
+/// let mut out = Vec::new();
+/// cross_correlate_fft_into(&sig, &tpl, &mut ws, &mut out)?;
+/// assert_eq!(out.len(), sig.len() - tpl.len() + 1);
+/// # Ok::<(), wearlock_dsp::DspError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct CorrelationWorkspace {
+    fft: Option<Arc<Fft>>,
+    rfft: Option<Arc<RealFft>>,
+    /// Copy of the template whose spectrum is memoized in `tpl_spec`.
+    tpl_copy: Vec<f64>,
+    /// `true` if `tpl_spec` was computed with the packed real FFT.
+    tpl_real: bool,
+    tpl_fft_len: usize,
+    tpl_spec: Vec<Complex>,
+    /// Complex block buffer (overlap–save input, product, and inverse).
+    block: Vec<Complex>,
+    /// Real block input for the packed-FFT path.
+    real_block: Vec<f64>,
+    /// Real block output for the packed-FFT path.
+    real_out: Vec<f64>,
+    /// Half-length scratch for [`RealFft::inverse_into`].
+    half_scratch: Vec<Complex>,
+    /// Raw window energies for normalization.
+    denoms: Vec<f64>,
+    /// Running energy prefix for the packed-real path's fast windows.
+    prefix: Vec<f64>,
+}
+
+impl CorrelationWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn plan(&mut self, fft_len: usize) -> Result<&Fft, DspError> {
+        if self.fft.as_ref().map(|f| f.size()) != Some(fft_len) {
+            self.fft = Some(cache::planned(fft_len)?);
+        }
+        Ok(self.fft.as_deref().expect("plan just set"))
+    }
+
+    fn plan_real(&mut self, fft_len: usize) -> Result<&RealFft, DspError> {
+        if self.rfft.as_ref().map(|f| f.size()) != Some(fft_len) {
+            self.rfft = Some(cache::planned_real(fft_len)?);
+        }
+        Ok(self.rfft.as_deref().expect("plan just set"))
+    }
+
+    /// Whether the memoized template spectrum can be reused: identical
+    /// length, identical bits, same transform kind and block size.
+    fn template_is_cached(&self, template: &[f64], fft_len: usize, real: bool) -> bool {
+        self.tpl_fft_len == fft_len
+            && self.tpl_real == real
+            && self.tpl_copy.len() == template.len()
+            && self
+                .tpl_copy
+                .iter()
+                .zip(template)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+/// Overlap–save block size for a template of `m` samples: at least 4×
+/// the template, power of two. Fixed by the seed implementation — the
+/// classic path's output bits depend on it, so it must never change.
+fn os_fft_len(m: usize) -> usize {
+    (4 * m).next_power_of_two().max(64)
+}
+
+/// Overlap–save block size for the packed-real path: 8× the template.
+/// Butterfly work per output lag is minimized near this ratio (each
+/// block discards only `m-1` of its `fft_len` lags), and the real path
+/// carries no bitwise contract — only the ≤1e-9 proximity bound — so it
+/// is free to pick the cheaper geometry.
+fn os_real_fft_len(m: usize) -> usize {
+    (8 * m).next_power_of_two().max(64)
+}
+
+/// FFT-accelerated raw cross-correlation (overlap–save) into a
+/// caller-provided output, using `ws` for plans and scratch: identical
+/// output to [`cross_correlate`] but `O(n log n)`, and zero allocations
+/// once `ws` has warmed up.
+///
+/// Bitwise identical to [`cross_correlate_fft`] (they share this code).
+///
+/// # Errors
+///
+/// Same as [`cross_correlate`].
+pub fn cross_correlate_fft_into(
+    signal: &[f64],
+    template: &[f64],
+    ws: &mut CorrelationWorkspace,
+    out: &mut Vec<f64>,
+) -> Result<(), DspError> {
+    if signal.is_empty() || template.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if template.len() > signal.len() {
+        return Err(DspError::LengthMismatch {
+            expected: template.len(),
+            actual: signal.len(),
+        });
+    }
+    let m = template.len();
+    let out_len = signal.len() - m + 1;
+    let fft_len = os_fft_len(m);
+    ws.plan(fft_len)?;
+    let step = fft_len - m + 1;
+
+    // Conjugate spectrum of the (zero-padded) template realizes
+    // correlation rather than convolution. Memoized: the modem searches
+    // for the same preamble on every attempt.
+    if !ws.template_is_cached(template, fft_len, false) {
+        ws.block.clear();
+        ws.block.resize(fft_len, Complex::ZERO);
+        for (slot, &t) in ws.block.iter_mut().zip(template) {
+            *slot = Complex::from_re(t);
+        }
+        let fft = ws.fft.as_deref().expect("planned above");
+        fft.forward_in_place(&mut ws.block)?;
+        ws.tpl_spec.clear();
+        ws.tpl_spec.extend(ws.block.iter().map(|z| z.conj()));
+        ws.tpl_copy.clear();
+        ws.tpl_copy.extend_from_slice(template);
+        ws.tpl_fft_len = fft_len;
+        ws.tpl_real = false;
+    }
+
+    out.clear();
+    out.resize(out_len, 0.0);
+    let fft = ws.fft.as_deref().expect("planned above");
+    ws.block.resize(fft_len, Complex::ZERO);
+    let mut start = 0;
+    while start < out_len {
+        // Every slot is written below (samples, then the zero tail), so
+        // the buffer is reused without a wholesale re-zeroing pass.
+        let avail = (signal.len() - start).min(fft_len);
+        for (slot, &v) in ws.block[..avail]
+            .iter_mut()
+            .zip(&signal[start..start + avail])
+        {
+            *slot = Complex::from_re(v);
+        }
+        ws.block[avail..].fill(Complex::ZERO);
+        fft.forward_in_place(&mut ws.block)?;
+        for (a, b) in ws.block.iter_mut().zip(&ws.tpl_spec) {
+            *a *= *b;
+        }
+        fft.inverse_in_place(&mut ws.block)?;
+        let valid = step.min(out_len - start);
+        for i in 0..valid {
+            out[start + i] = ws.block[i].re;
+        }
+        start += step;
+    }
+    Ok(())
+}
+
+/// Raw FFT correlation through the packed real-input transform:
+/// template and signal blocks are real, so each block costs one
+/// half-length complex FFT each way instead of a full-length one.
+///
+/// **Opt-in fast path**: scores differ from
+/// [`cross_correlate_fft_into`] by a few ulps (see
+/// [`crate::realfft`]); peaks and lengths match. Zero allocations after
+/// warmup.
+///
+/// # Errors
+///
+/// Same as [`cross_correlate`].
+pub fn cross_correlate_fft_real_into(
+    signal: &[f64],
+    template: &[f64],
+    ws: &mut CorrelationWorkspace,
+    out: &mut Vec<f64>,
+) -> Result<(), DspError> {
+    if signal.is_empty() || template.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if template.len() > signal.len() {
+        return Err(DspError::LengthMismatch {
+            expected: template.len(),
+            actual: signal.len(),
+        });
+    }
+    let m = template.len();
+    let out_len = signal.len() - m + 1;
+    let fft_len = os_real_fft_len(m);
+    ws.plan_real(fft_len)?;
+    let half = fft_len / 2;
+    let step = fft_len - m + 1;
+
+    if !ws.template_is_cached(template, fft_len, true) {
+        ws.real_block.clear();
+        ws.real_block.resize(fft_len, 0.0);
+        ws.real_block[..m].copy_from_slice(template);
+        ws.tpl_spec.clear();
+        ws.tpl_spec.resize(fft_len, Complex::ZERO);
+        let rfft = ws.rfft.as_deref().expect("planned above");
+        rfft.forward_into(&ws.real_block, &mut ws.tpl_spec)?;
+        for z in &mut ws.tpl_spec {
+            *z = z.conj();
+        }
+        ws.tpl_copy.clear();
+        ws.tpl_copy.extend_from_slice(template);
+        ws.tpl_fft_len = fft_len;
+        ws.tpl_real = true;
+    }
+
+    ws.block.clear();
+    ws.block.resize(fft_len, Complex::ZERO);
+    ws.real_out.clear();
+    ws.real_out.resize(fft_len, 0.0);
+    ws.half_scratch.clear();
+    ws.half_scratch.resize(half, Complex::ZERO);
+
+    out.clear();
+    out.resize(out_len, 0.0);
+    let rfft = ws.rfft.as_deref().expect("planned above");
+    ws.real_block.resize(fft_len, 0.0);
+    let mut start = 0;
+    while start < out_len {
+        // Samples plus explicit zero tail cover every slot, so the
+        // buffer is reused without a wholesale re-zeroing pass.
+        let avail = (signal.len() - start).min(fft_len);
+        ws.real_block[..avail].copy_from_slice(&signal[start..start + avail]);
+        ws.real_block[avail..].fill(0.0);
+        rfft.forward_into(&ws.real_block, &mut ws.block)?;
+        // Only the lower half + Nyquist feed the Hermitian inverse.
+        for (a, b) in ws.block[..=half].iter_mut().zip(&ws.tpl_spec[..=half]) {
+            *a *= *b;
+        }
+        rfft.inverse_into(&ws.block, &mut ws.real_out, &mut ws.half_scratch)?;
+        let valid = step.min(out_len - start);
+        out[start..start + valid].copy_from_slice(&ws.real_out[..valid]);
+        start += step;
+    }
+    Ok(())
+}
+
+/// Normalized FFT correlation into a caller-provided output: numerator
+/// from [`cross_correlate_fft_into`], denominators from the shared
+/// rolling-energy computation. Bitwise identical to
+/// [`normalized_cross_correlate_fft`]; zero allocations after warmup.
+///
+/// # Errors
+///
+/// Same as [`cross_correlate`].
+pub fn normalized_cross_correlate_fft_into(
+    signal: &[f64],
+    template: &[f64],
+    ws: &mut CorrelationWorkspace,
+    out: &mut Vec<f64>,
+) -> Result<(), DspError> {
+    let t_norm = check_inputs(signal, template)?;
+    let m = template.len();
+    cross_correlate_fft_into(signal, template, ws, out)?;
+    let mut energies = std::mem::take(&mut ws.denoms);
+    let floor = window_energies_into(signal, m, &mut energies);
+    normalize_by_energies(out, &energies, floor, t_norm);
+    ws.denoms = energies;
+    Ok(())
+}
+
+/// Normalized FFT correlation through the packed real transform —
+/// opt-in fast path held to ≤1e-9 score proximity to
+/// [`normalized_cross_correlate_fft_into`], not bitwise equality: the
+/// numerator uses the packed transform (and a wider overlap–save
+/// block), the denominators use prefix-sum window energies.
+///
+/// # Errors
+///
+/// Same as [`cross_correlate`].
+pub fn normalized_cross_correlate_fft_real_into(
+    signal: &[f64],
+    template: &[f64],
+    ws: &mut CorrelationWorkspace,
+    out: &mut Vec<f64>,
+) -> Result<(), DspError> {
+    let t_norm = check_inputs(signal, template)?;
+    let m = template.len();
+    cross_correlate_fft_real_into(signal, template, ws, out)?;
+    let mut energies = std::mem::take(&mut ws.denoms);
+    let mut prefix = std::mem::take(&mut ws.prefix);
+    let floor = window_energies_fast_into(signal, m, &mut prefix, &mut energies);
+    normalize_by_energies(out, &energies, floor, t_norm);
+    ws.denoms = energies;
+    ws.prefix = prefix;
+    Ok(())
+}
+
+thread_local! {
+    /// Workspace backing the allocating compatibility wrappers, so
+    /// legacy call sites stop re-planning FFTs without changing type.
+    static LOCAL_WS: RefCell<CorrelationWorkspace> = RefCell::new(CorrelationWorkspace::new());
 }
 
 /// FFT-accelerated normalized cross-correlation: the numerator comes
@@ -146,6 +562,9 @@ pub fn normalized_cross_correlate(signal: &[f64], template: &[f64]) -> Result<Ve
 /// single hottest kernel of an unlock, and overlap–save turns its
 /// `O(n·m)` scan into `O(n log m)`.
 ///
+/// Runs on a thread-local [`CorrelationWorkspace`]; only the returned
+/// `Vec` is allocated.
+///
 /// # Errors
 ///
 /// Same as [`cross_correlate`].
@@ -153,20 +572,19 @@ pub fn normalized_cross_correlate_fft(
     signal: &[f64],
     template: &[f64],
 ) -> Result<Vec<f64>, DspError> {
-    let t_norm = check_inputs(signal, template)?;
-    let m = template.len();
-    let dots = cross_correlate_fft(signal, template)?;
-    let denoms = window_denominators(signal, m, t_norm);
-    Ok(dots
-        .iter()
-        .zip(&denoms)
-        .map(|(&dot, &denom)| if denom > 0.0 { dot / denom } else { 0.0 })
-        .collect())
+    LOCAL_WS.with(|ws| {
+        let mut out = Vec::new();
+        normalized_cross_correlate_fft_into(signal, template, &mut ws.borrow_mut(), &mut out)?;
+        Ok(out)
+    })
 }
 
 /// FFT-accelerated raw cross-correlation (overlap–save): identical
 /// output to [`cross_correlate`] but `O(n log n)` instead of `O(n·m)`,
 /// which matters for the second-long recordings the watch processes.
+///
+/// Runs on a thread-local [`CorrelationWorkspace`]; only the returned
+/// `Vec` is allocated.
 ///
 /// # Errors
 ///
@@ -186,52 +604,11 @@ pub fn normalized_cross_correlate_fft(
 /// # Ok::<(), wearlock_dsp::DspError>(())
 /// ```
 pub fn cross_correlate_fft(signal: &[f64], template: &[f64]) -> Result<Vec<f64>, DspError> {
-    if signal.is_empty() || template.is_empty() {
-        return Err(DspError::EmptyInput);
-    }
-    if template.len() > signal.len() {
-        return Err(DspError::LengthMismatch {
-            expected: template.len(),
-            actual: signal.len(),
-        });
-    }
-    let m = template.len();
-    let out_len = signal.len() - m + 1;
-
-    // Block size: at least 4x the template, power of two.
-    let fft_len = (4 * m).next_power_of_two().max(64);
-    let fft = crate::fft::Fft::new(fft_len)?;
-    let step = fft_len - m + 1;
-
-    // Conjugate spectrum of the (zero-padded) template realizes
-    // correlation rather than convolution.
-    let mut tpl_buf = vec![crate::complex::Complex::ZERO; fft_len];
-    for (i, &t) in template.iter().enumerate() {
-        tpl_buf[i] = crate::complex::Complex::from_re(t);
-    }
-    let tpl_spec: Vec<crate::complex::Complex> =
-        fft.forward(&tpl_buf)?.iter().map(|z| z.conj()).collect();
-
-    let mut out = vec![0.0; out_len];
-    let mut start = 0;
-    while start < out_len {
-        let mut block = vec![crate::complex::Complex::ZERO; fft_len];
-        for i in 0..fft_len {
-            if start + i < signal.len() {
-                block[i] = crate::complex::Complex::from_re(signal[start + i]);
-            }
-        }
-        let spec = fft.forward(&block)?;
-        let prod: Vec<crate::complex::Complex> =
-            spec.iter().zip(&tpl_spec).map(|(a, b)| *a * *b).collect();
-        let corr = fft.inverse(&prod)?;
-        let valid = step.min(out_len - start);
-        for i in 0..valid {
-            out[start + i] = corr[i].re;
-        }
-        start += step;
-    }
-    Ok(out)
+    LOCAL_WS.with(|ws| {
+        let mut out = Vec::new();
+        cross_correlate_fft_into(signal, template, &mut ws.borrow_mut(), &mut out)?;
+        Ok(out)
+    })
 }
 
 /// The best match found by a correlator.
@@ -276,6 +653,47 @@ pub fn find_peak(signal: &[f64], template: &[f64]) -> Result<CorrelationPeak, Ds
         },
     );
     Ok(CorrelationPeak { offset, score })
+}
+
+/// Mean excess delay `τ̂ = Σ t_n·A(t_n) / Σ A(t_n)` in seconds for a
+/// power delay profile given as a tap slice.
+///
+/// Returns `0.0` when the profile has no energy. Slice-based so scratch
+/// buffers can be analyzed without building a [`DelayProfile`].
+pub fn profile_mean_delay(taps: &[f64], sample_rate: SampleRate) -> f64 {
+    let total: f64 = taps.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let fs = sample_rate.value();
+    taps.iter()
+        .enumerate()
+        .map(|(n, a)| (n as f64 / fs) * a)
+        .sum::<f64>()
+        / total
+}
+
+/// RMS delay spread
+/// `τ_rms = sqrt(Σ (t_n − τ̂)²·A(t_n) / Σ A(t_n))` in seconds — the
+/// paper's NLOS indicator — for a power delay profile given as a tap
+/// slice.
+pub fn profile_rms_delay_spread(taps: &[f64], sample_rate: SampleRate) -> f64 {
+    let total: f64 = taps.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let fs = sample_rate.value();
+    let mean = profile_mean_delay(taps, sample_rate);
+    (taps
+        .iter()
+        .enumerate()
+        .map(|(n, a)| {
+            let t = n as f64 / fs;
+            (t - mean) * (t - mean) * a
+        })
+        .sum::<f64>()
+        / total)
+        .sqrt()
 }
 
 /// An approximate multipath delay profile extracted from the correlation
@@ -323,40 +741,14 @@ impl DelayProfile {
     ///
     /// Returns `0.0` when the profile has no energy.
     pub fn mean_delay(&self) -> f64 {
-        let total: f64 = self.taps.iter().sum();
-        if total <= 0.0 {
-            return 0.0;
-        }
-        let fs = self.sample_rate.value();
-        self.taps
-            .iter()
-            .enumerate()
-            .map(|(n, a)| (n as f64 / fs) * a)
-            .sum::<f64>()
-            / total
+        profile_mean_delay(&self.taps, self.sample_rate)
     }
 
     /// RMS delay spread
     /// `τ_rms = sqrt(Σ (t_n − τ̂)²·A(t_n) / Σ A(t_n))` in seconds —
     /// the paper's NLOS indicator.
     pub fn rms_delay_spread(&self) -> f64 {
-        let total: f64 = self.taps.iter().sum();
-        if total <= 0.0 {
-            return 0.0;
-        }
-        let fs = self.sample_rate.value();
-        let mean = self.mean_delay();
-        (self
-            .taps
-            .iter()
-            .enumerate()
-            .map(|(n, a)| {
-                let t = n as f64 / fs;
-                (t - mean) * (t - mean) * a
-            })
-            .sum::<f64>()
-            / total)
-            .sqrt()
+        profile_rms_delay_spread(&self.taps, self.sample_rate)
     }
 }
 
@@ -401,6 +793,14 @@ mod tests {
         assert!(cross_correlate_fft(&[], &[1.0]).is_err());
         assert!(cross_correlate_fft(&[1.0], &[]).is_err());
         assert!(cross_correlate_fft(&[1.0], &[1.0, 2.0]).is_err());
+        let mut ws = CorrelationWorkspace::new();
+        let mut out = Vec::new();
+        assert!(cross_correlate_fft_into(&[], &[1.0], &mut ws, &mut out).is_err());
+        assert!(cross_correlate_fft_real_into(&[1.0], &[1.0, 2.0], &mut ws, &mut out).is_err());
+        assert!(
+            normalized_cross_correlate_fft_real_into(&[0.0; 8], &[0.0; 4], &mut ws, &mut out)
+                .is_err()
+        );
     }
 
     #[test]
@@ -447,6 +847,63 @@ mod tests {
         assert!(normalized_cross_correlate_fft(&[1.0], &[]).is_err());
         assert!(normalized_cross_correlate_fft(&[1.0], &[1.0, 2.0]).is_err());
         assert!(normalized_cross_correlate_fft(&[0.0; 8], &[0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_stable() {
+        // The same query through a fresh workspace and through one that
+        // has already served different templates/sizes must agree bit
+        // for bit: scratch reuse cannot leak state into results.
+        let sig: Vec<f64> = (0..2_000)
+            .map(|i| (i as f64 * 0.19).sin() + 0.1 * (i as f64 * 0.87).cos())
+            .collect();
+        let tpl_a: Vec<f64> = (0..96).map(|i| (i as f64 * 0.31).sin()).collect();
+        let tpl_b: Vec<f64> = (0..256).map(|i| (i as f64 * 0.05).cos()).collect();
+
+        let mut fresh = CorrelationWorkspace::new();
+        let mut expect = Vec::new();
+        normalized_cross_correlate_fft_into(&sig, &tpl_a, &mut fresh, &mut expect).unwrap();
+
+        let mut used = CorrelationWorkspace::new();
+        let mut out = Vec::new();
+        // Warm the workspace with other shapes first.
+        normalized_cross_correlate_fft_into(&sig, &tpl_b, &mut used, &mut out).unwrap();
+        cross_correlate_fft_into(&sig[..500], &tpl_a, &mut used, &mut out).unwrap();
+        normalized_cross_correlate_fft_into(&sig, &tpl_a, &mut used, &mut out).unwrap();
+        assert_eq!(out.len(), expect.len());
+        for (a, b) in out.iter().zip(&expect) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn real_fft_path_matches_classic_closely() {
+        let sig: Vec<f64> = (0..3_000)
+            .map(|i| (i as f64 * 0.11).sin() + 0.2 * (i as f64 * 0.53).cos())
+            .collect();
+        let tpl: Vec<f64> = (0..128).map(|i| (i as f64 * 0.23).sin()).collect();
+        let mut ws = CorrelationWorkspace::new();
+        let mut classic = Vec::new();
+        let mut real = Vec::new();
+        normalized_cross_correlate_fft_into(&sig, &tpl, &mut ws, &mut classic).unwrap();
+        normalized_cross_correlate_fft_real_into(&sig, &tpl, &mut ws, &mut real).unwrap();
+        assert_eq!(classic.len(), real.len());
+        let best_classic = classic
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let best_real = real
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(best_classic, best_real);
+        for (a, b) in classic.iter().zip(&real) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
     }
 
     #[test]
@@ -530,6 +987,20 @@ mod tests {
     fn delay_profile_rejects_bad_window() {
         assert!(DelayProfile::from_correlation(&[1.0], 0, 0, SampleRate::CD).is_err());
         assert!(DelayProfile::from_correlation(&[1.0], 5, 2, SampleRate::CD).is_err());
+    }
+
+    #[test]
+    fn profile_free_functions_match_struct_methods() {
+        let scores = vec![0.3, 0.8, 0.4, 0.2, 0.1];
+        let p = DelayProfile::from_correlation(&scores, 1, 4, SampleRate::CD).unwrap();
+        assert_eq!(
+            p.mean_delay().to_bits(),
+            profile_mean_delay(&p.taps, SampleRate::CD).to_bits()
+        );
+        assert_eq!(
+            p.rms_delay_spread().to_bits(),
+            profile_rms_delay_spread(&p.taps, SampleRate::CD).to_bits()
+        );
     }
 
     #[test]

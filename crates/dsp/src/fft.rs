@@ -9,6 +9,21 @@
 //! (no scaling) and [`Fft::inverse`] computes
 //! `x[n] = (1/N)·Σ X[k]·e^{+j2πkn/N}`, matching equation (1) of the
 //! paper, so `inverse(forward(x)) == x`.
+//!
+//! ## Allocation discipline
+//!
+//! Every transform has three entry points sharing one butterfly kernel,
+//! so they produce *bitwise identical* spectra:
+//!
+//! * allocating ([`Fft::forward`]) — convenient, one `Vec` per call;
+//! * `_into` ([`Fft::forward_into`]) — caller-provided output, zero
+//!   allocations;
+//! * in-place ([`Fft::forward_in_place`]) — transform a buffer without
+//!   even a copy (the permutation runs as swaps).
+//!
+//! Plans are cheap to share: [`crate::cache::planned`] hands out
+//! `Arc<Fft>` from a process-wide cache so the bit-reversal table and
+//! twiddles for each size are computed exactly once.
 
 use crate::complex::Complex;
 use crate::error::DspError;
@@ -38,6 +53,11 @@ pub struct Fft {
     rev: Vec<usize>,
     /// Twiddles for the forward transform: `e^{-j2πk/N}` for k in 0..N/2.
     twiddles: Vec<Complex>,
+    /// Conjugated twiddles for the inverse transform. Conjugation is an
+    /// exact sign flip, so using this table instead of conjugating
+    /// inside the butterfly loop changes no output bit — it only
+    /// removes a branch from the hottest loop in the crate.
+    inv_twiddles: Vec<Complex>,
 }
 
 impl Fft {
@@ -55,13 +75,15 @@ impl Fft {
         let rev = (0..size)
             .map(|i| i.reverse_bits() >> (usize::BITS - bits))
             .collect();
-        let twiddles = (0..size / 2)
+        let twiddles: Vec<Complex> = (0..size / 2)
             .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / size as f64))
             .collect();
+        let inv_twiddles = twiddles.iter().map(|w| w.conj()).collect();
         Ok(Fft {
             size,
             rev,
             twiddles,
+            inv_twiddles,
         })
     }
 
@@ -71,42 +93,63 @@ impl Fft {
         self.size
     }
 
-    fn transform(&self, input: &[Complex], invert: bool) -> Result<Vec<Complex>, DspError> {
-        if input.len() != self.size {
+    fn check_len(&self, len: usize) -> Result<(), DspError> {
+        if len != self.size {
             return Err(DspError::LengthMismatch {
                 expected: self.size,
-                actual: input.len(),
+                actual: len,
             });
         }
-        let n = self.size;
-        let mut buf: Vec<Complex> = (0..n).map(|i| input[self.rev[i]]).collect();
+        Ok(())
+    }
 
+    /// The shared butterfly kernel: identical operation order for every
+    /// entry point, which is what keeps the allocating, `_into` and
+    /// in-place paths bitwise interchangeable.
+    pub(crate) fn butterflies(&self, buf: &mut [Complex], invert: bool) {
+        let n = self.size;
+        let tw = if invert {
+            &self.inv_twiddles
+        } else {
+            &self.twiddles
+        };
         let mut len = 2;
         while len <= n {
             let half = len / 2;
             let step = n / len;
             for start in (0..n).step_by(len) {
-                for k in 0..half {
-                    let mut w = self.twiddles[k * step];
-                    if invert {
-                        w = w.conj();
-                    }
-                    let a = buf[start + k];
-                    let b = buf[start + k + half] * w;
-                    buf[start + k] = a + b;
-                    buf[start + k + half] = a - b;
+                let (lo, hi) = buf[start..start + len].split_at_mut(half);
+                let mut ti = 0usize;
+                for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                    let w = tw[ti];
+                    ti += step;
+                    let x = *a;
+                    let y = *b * w;
+                    *a = x + y;
+                    *b = x - y;
                 }
             }
             len <<= 1;
         }
+    }
 
-        if invert {
-            let scale = 1.0 / n as f64;
-            for v in &mut buf {
-                *v = v.scale(scale);
+    /// Applies the bit-reversal permutation in place (the permutation is
+    /// an involution, so swapping `i < rev[i]` pairs realizes it).
+    pub(crate) fn permute_in_place(&self, buf: &mut [Complex]) {
+        for i in 0..self.size {
+            let j = self.rev[i];
+            if i < j {
+                buf.swap(i, j);
             }
         }
-        Ok(buf)
+    }
+
+    #[inline]
+    fn scale_inverse(&self, buf: &mut [Complex]) {
+        let scale = 1.0 / self.size as f64;
+        for v in buf {
+            *v = v.scale(scale);
+        }
     }
 
     /// Forward DFT (no normalization).
@@ -115,7 +158,9 @@ impl Fft {
     ///
     /// Returns [`DspError::LengthMismatch`] if `input.len() != size`.
     pub fn forward(&self, input: &[Complex]) -> Result<Vec<Complex>, DspError> {
-        self.transform(input, false)
+        let mut out = vec![Complex::ZERO; self.size.min(input.len())];
+        self.forward_into(input, &mut out)?;
+        Ok(out)
     }
 
     /// Inverse DFT with `1/N` normalization (paper eq. 1).
@@ -124,23 +169,103 @@ impl Fft {
     ///
     /// Returns [`DspError::LengthMismatch`] if `input.len() != size`.
     pub fn inverse(&self, input: &[Complex]) -> Result<Vec<Complex>, DspError> {
-        self.transform(input, true)
+        let mut out = vec![Complex::ZERO; self.size.min(input.len())];
+        self.inverse_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Forward DFT into a caller-provided buffer: zero allocations,
+    /// bitwise identical to [`Fft::forward`].
+    ///
+    /// `input` and `out` must both have the planned size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if either slice has the
+    /// wrong length.
+    pub fn forward_into(&self, input: &[Complex], out: &mut [Complex]) -> Result<(), DspError> {
+        self.check_len(input.len())?;
+        self.check_len(out.len())?;
+        for (o, &r) in out.iter_mut().zip(&self.rev) {
+            *o = input[r];
+        }
+        self.butterflies(out, false);
+        Ok(())
+    }
+
+    /// Inverse DFT into a caller-provided buffer: zero allocations,
+    /// bitwise identical to [`Fft::inverse`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if either slice has the
+    /// wrong length.
+    pub fn inverse_into(&self, input: &[Complex], out: &mut [Complex]) -> Result<(), DspError> {
+        self.check_len(input.len())?;
+        self.check_len(out.len())?;
+        for (o, &r) in out.iter_mut().zip(&self.rev) {
+            *o = input[r];
+        }
+        self.butterflies(out, true);
+        self.scale_inverse(out);
+        Ok(())
+    }
+
+    /// Forward DFT of a buffer, in place (no copy at all).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `buf.len() != size`.
+    pub fn forward_in_place(&self, buf: &mut [Complex]) -> Result<(), DspError> {
+        self.check_len(buf.len())?;
+        self.permute_in_place(buf);
+        self.butterflies(buf, false);
+        Ok(())
+    }
+
+    /// Inverse DFT of a buffer, in place, with `1/N` normalization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `buf.len() != size`.
+    pub fn inverse_in_place(&self, buf: &mut [Complex]) -> Result<(), DspError> {
+        self.check_len(buf.len())?;
+        self.permute_in_place(buf);
+        self.butterflies(buf, true);
+        self.scale_inverse(buf);
+        Ok(())
     }
 
     /// Forward DFT of a real signal (zero imaginary parts are implied).
+    ///
+    /// For the ~2× packed fast path see [`crate::RealFft`]; this one is
+    /// bitwise identical to [`Fft::forward`] on the widened input.
     ///
     /// # Errors
     ///
     /// Returns [`DspError::LengthMismatch`] if `input.len() != size`.
     pub fn forward_real(&self, input: &[f64]) -> Result<Vec<Complex>, DspError> {
-        if input.len() != self.size {
-            return Err(DspError::LengthMismatch {
-                expected: self.size,
-                actual: input.len(),
-            });
+        let mut out = vec![Complex::ZERO; self.size.min(input.len())];
+        self.forward_real_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Forward DFT of a real signal into a caller-provided buffer: the
+    /// widening to complex happens during the bit-reversal copy, so no
+    /// intermediate complex buffer is ever materialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if either slice has the
+    /// wrong length.
+    pub fn forward_real_into(&self, input: &[f64], out: &mut [Complex]) -> Result<(), DspError> {
+        self.check_len(input.len())?;
+        self.check_len(out.len())?;
+        for (o, &r) in out.iter_mut().zip(&self.rev) {
+            *o = Complex::from_re(input[r]);
         }
-        let buf: Vec<Complex> = input.iter().map(|&x| Complex::from_re(x)).collect();
-        self.forward(&buf)
+        self.butterflies(out, false);
+        Ok(())
     }
 }
 
@@ -181,8 +306,8 @@ pub fn fft_interpolate(samples: &[Complex], factor: usize) -> Result<Vec<Complex
     }
     let m = samples.len();
     let out_len = m * factor;
-    let fft_in = Fft::new(m)?;
-    let fft_out = Fft::new(out_len)?;
+    let fft_in = crate::cache::planned(m)?;
+    let fft_out = crate::cache::planned(out_len)?;
     let spectrum = fft_in.forward(samples)?;
 
     // Zero-pad the spectrum symmetrically: keep the low half at the
@@ -232,6 +357,59 @@ mod tests {
         }
     }
 
+    fn assert_bitwise(a: &[Complex], b: &[Complex]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                "bit mismatch at {i}: {x} vs {y}"
+            );
+        }
+    }
+
+    /// The seed repository's transform, kept verbatim as the bitwise
+    /// oracle for every refactored entry point.
+    fn seed_transform(fft: &Fft, input: &[Complex], invert: bool) -> Vec<Complex> {
+        let n = fft.size;
+        let mut buf: Vec<Complex> = (0..n).map(|i| input[fft.rev[i]]).collect();
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = fft.twiddles[k * step];
+                    if invert {
+                        w = w.conj();
+                    }
+                    let a = buf[start + k];
+                    let b = buf[start + k + half] * w;
+                    buf[start + k] = a + b;
+                    buf[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+        if invert {
+            let scale = 1.0 / n as f64;
+            for v in &mut buf {
+                *v = v.scale(scale);
+            }
+        }
+        buf
+    }
+
+    fn noisy_signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| {
+                Complex::new(
+                    (i as f64 * 0.37).sin() + 0.2 * (i as f64 * 1.1).cos(),
+                    (i as f64 * 0.91).cos(),
+                )
+            })
+            .collect()
+    }
+
     #[test]
     fn rejects_non_power_of_two() {
         assert!(matches!(Fft::new(0), Err(DspError::InvalidFftSize(0))));
@@ -251,21 +429,67 @@ mod tests {
                 actual: 4
             })
         ));
+        let mut out = vec![Complex::ZERO; 8];
+        assert!(fft.forward_into(&short, &mut out).is_err());
+        let mut short_out = vec![Complex::ZERO; 4];
+        let x = vec![Complex::ZERO; 8];
+        assert!(fft.forward_into(&x, &mut short_out).is_err());
+        assert!(fft.forward_in_place(&mut short_out).is_err());
+        assert!(fft.inverse_in_place(&mut short_out).is_err());
     }
 
     #[test]
     fn matches_naive_dft() {
         let n = 64;
-        let x: Vec<Complex> = (0..n)
-            .map(|i| {
-                Complex::new(
-                    (i as f64 * 0.37).sin() + 0.2 * (i as f64 * 1.1).cos(),
-                    (i as f64 * 0.91).cos(),
-                )
-            })
-            .collect();
+        let x = noisy_signal(n);
         let fft = Fft::new(n).unwrap();
         assert_close(&fft.forward(&x).unwrap(), &dft_naive(&x), 1e-9);
+    }
+
+    #[test]
+    fn all_entry_points_are_bitwise_identical_to_the_seed_path() {
+        for n in [2usize, 8, 64, 256, 1024] {
+            let x = noisy_signal(n);
+            let fft = Fft::new(n).unwrap();
+            for invert in [false, true] {
+                let seed = seed_transform(&fft, &x, invert);
+                let alloc = if invert {
+                    fft.inverse(&x).unwrap()
+                } else {
+                    fft.forward(&x).unwrap()
+                };
+                assert_bitwise(&alloc, &seed);
+
+                let mut into = vec![Complex::ZERO; n];
+                if invert {
+                    fft.inverse_into(&x, &mut into).unwrap()
+                } else {
+                    fft.forward_into(&x, &mut into).unwrap()
+                };
+                assert_bitwise(&into, &seed);
+
+                let mut in_place = x.clone();
+                if invert {
+                    fft.inverse_in_place(&mut in_place).unwrap()
+                } else {
+                    fft.forward_in_place(&mut in_place).unwrap()
+                };
+                assert_bitwise(&in_place, &seed);
+            }
+        }
+    }
+
+    #[test]
+    fn forward_real_into_is_bitwise_identical_to_widened_forward() {
+        let n = 256;
+        let xr: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let xc: Vec<Complex> = xr.iter().map(|&v| Complex::from_re(v)).collect();
+        let fft = Fft::new(n).unwrap();
+        let seed = seed_transform(&fft, &xc, false);
+        let mut out = vec![Complex::ZERO; n];
+        fft.forward_real_into(&xr, &mut out).unwrap();
+        assert_bitwise(&out, &seed);
+        assert_bitwise(&fft.forward_real(&xr).unwrap(), &seed);
     }
 
     #[test]
@@ -306,6 +530,17 @@ mod tests {
         let fft = Fft::new(n).unwrap();
         let back = fft.inverse(&fft.forward(&x).unwrap()).unwrap();
         assert_close(&x, &back, 1e-9);
+    }
+
+    #[test]
+    fn in_place_roundtrip() {
+        let n = 64;
+        let x = noisy_signal(n);
+        let fft = Fft::new(n).unwrap();
+        let mut buf = x.clone();
+        fft.forward_in_place(&mut buf).unwrap();
+        fft.inverse_in_place(&mut buf).unwrap();
+        assert_close(&x, &buf, 1e-9);
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! Packed real-input FFT: an N-point transform of a real signal
+//! computed with one N/2-point complex transform.
+//!
+//! Preambles, recordings and OFDM block bodies are all real-valued, so
+//! the modem's hottest transforms waste half their butterflies on zero
+//! imaginary parts. The classic "packing" trick folds consecutive real
+//! samples into complex pairs `z[j] = x[2j] + i·x[2j+1]`, transforms the
+//! half-length sequence, and disentangles the even/odd spectra
+//! exactly:
+//!
+//! ```text
+//! E[k] = (Z[k] + conj(Z[H-k])) / 2        (spectrum of x[even])
+//! O[k] = -i·(Z[k] - conj(Z[H-k])) / 2     (spectrum of x[odd])
+//! X[k] = E[k] + W^k · O[k],  W = e^{-2πi/N}
+//! ```
+//!
+//! with the edge cases `X[0] = Re Z[0] + Im Z[0]` and
+//! `X[H] = Re Z[0] - Im Z[0]` (H = N/2), and the upper half filled by
+//! Hermitian symmetry `X[N-k] = conj(X[k])`.
+//!
+//! ## This path is *not* bitwise identical to the complex FFT
+//!
+//! The recombination above is algebraically exact but performs a
+//! different sequence of floating-point roundings than the full
+//! transform, so outputs differ from [`crate::Fft::forward_real`] by
+//! a few ulps (observed ≤1e-12 relative; property-tested at 1e-9).
+//! Because the repository's determinism contract requires bitwise
+//! stability against the seed pipeline, the real path is **opt-in**
+//! (`OfdmDemodulator::with_real_fft` in `wearlock-modem`, the
+//! `*_real_into` correlators here) and the default pipeline keeps the
+//! classic path. See DESIGN.md §11.
+
+use crate::complex::Complex;
+use crate::error::DspError;
+use crate::fft::Fft;
+
+/// A planned real-input FFT of a fixed power-of-two size (≥ 4).
+///
+/// # Examples
+///
+/// ```
+/// use wearlock_dsp::{Complex, RealFft};
+///
+/// let rfft = RealFft::new(8)?;
+/// let x: Vec<f64> = (0..8).map(|n| (n as f64 * 0.9).sin()).collect();
+/// let mut spec = vec![Complex::ZERO; 8];
+/// rfft.forward_into(&x, &mut spec)?;
+///
+/// // Agrees with the classic complex transform to a few ulps.
+/// let full = wearlock_dsp::Fft::new(8)?.forward_real(&x)?;
+/// for (a, b) in spec.iter().zip(&full) {
+///     assert!((*a - *b).abs() < 1e-12);
+/// }
+/// # Ok::<(), wearlock_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RealFft {
+    size: usize,
+    half: Fft,
+    /// Recombination twiddles `W^k = e^{-2πik/N}` for k in 0..N/2.
+    w: Vec<Complex>,
+}
+
+impl RealFft {
+    /// Plans a real-input FFT of `size` points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidFftSize`] unless `size` is a power of
+    /// two and at least 4 (the packing needs a half transform of ≥ 2).
+    pub fn new(size: usize) -> Result<Self, DspError> {
+        if size < 4 || !size.is_power_of_two() {
+            return Err(DspError::InvalidFftSize(size));
+        }
+        let half = Fft::new(size / 2)?;
+        let w = (0..size / 2)
+            .map(|k| Complex::cis(-2.0 * std::f64::consts::PI * k as f64 / size as f64))
+            .collect();
+        Ok(RealFft { size, half, w })
+    }
+
+    /// The transform size (in real samples).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn check_len(&self, len: usize) -> Result<(), DspError> {
+        if len != self.size {
+            return Err(DspError::LengthMismatch {
+                expected: self.size,
+                actual: len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Forward DFT of a real signal into a full Hermitian spectrum of
+    /// length N, with zero allocations and no scratch: the half-length
+    /// transform is staged inside the upper half of `out`.
+    ///
+    /// The result satisfies `out[N-k] == conj(out[k])` exactly (the
+    /// mirror is materialized by conjugation, not recomputation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if either slice has the
+    /// wrong length.
+    pub fn forward_into(&self, input: &[f64], out: &mut [Complex]) -> Result<(), DspError> {
+        self.check_len(input.len())?;
+        self.check_len(out.len())?;
+        let h = self.size / 2;
+
+        // Pack x[2j] + i·x[2j+1] into the low half, then transform it
+        // into the upper half so the unpacking below can write results
+        // into the low half while still reading Z from the upper half.
+        for j in 0..h {
+            out[j] = Complex::new(input[2 * j], input[2 * j + 1]);
+        }
+        {
+            let (lo, hi) = out.split_at_mut(h);
+            self.half.forward_into(lo, hi)?;
+        }
+
+        // k = 0 edge: Z[0] is real-summed into DC and Nyquist.
+        let z0 = out[h];
+        out[0] = Complex::from_re(z0.re + z0.im);
+        out[h] = Complex::from_re(z0.re - z0.im);
+
+        // General bins, processed as (k, H-k) pairs. For k < H/2 the
+        // four indices {k, H-k, H+k, N-k} are distinct; reads of
+        // Z[k] = out[H+k] and Z[H-k] = out[N-k] happen before the
+        // writes to those same slots (the conjugate mirrors), so the
+        // in-place unpack is safe.
+        let quarter = h / 2;
+        for k in 1..quarter {
+            let zk = out[h + k];
+            let zmk = out[self.size - k]; // Z[H-k]
+            let (xk, xhk) = recombine(zk, zmk, self.w[k], self.w[h - k]);
+            out[k] = xk;
+            out[h - k] = xhk;
+            out[self.size - k] = xk.conj(); // X[N-k]
+            out[h + k] = xhk.conj(); // X[N-(H-k)]
+        }
+
+        // k = H/2 is self-paired (Z[H/2] is its own partner); note that
+        // N - H/2 == H + H/2, so the conjugate mirror lands exactly on
+        // the slot Z[H/2] was read from.
+        let zq = out[h + quarter];
+        let (xq, _) = recombine(zq, zq, self.w[quarter], self.w[h - quarter]);
+        out[quarter] = xq;
+        out[self.size - quarter] = xq.conj();
+        Ok(())
+    }
+
+    /// Forward DFT of a real signal (allocating convenience wrapper;
+    /// same bits as [`RealFft::forward_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `input.len() != size`.
+    pub fn forward(&self, input: &[f64]) -> Result<Vec<Complex>, DspError> {
+        let mut out = vec![Complex::ZERO; self.size.min(input.len())];
+        self.forward_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Inverse DFT of a Hermitian spectrum back to a real signal, with
+    /// `1/N` normalization, using a caller-provided half-length complex
+    /// scratch buffer.
+    ///
+    /// The input must be (numerically) Hermitian — only the lower half
+    /// plus Nyquist is actually read, so any imaginary leakage in the
+    /// mirror half is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `spectrum`/`out` are not
+    /// `size` long or `scratch` is not `size / 2` long.
+    pub fn inverse_into(
+        &self,
+        spectrum: &[Complex],
+        out: &mut [f64],
+        scratch: &mut [Complex],
+    ) -> Result<(), DspError> {
+        self.check_len(spectrum.len())?;
+        self.check_len(out.len())?;
+        let h = self.size / 2;
+        if scratch.len() != h {
+            return Err(DspError::LengthMismatch {
+                expected: h,
+                actual: scratch.len(),
+            });
+        }
+
+        // Re-entangle: Z[k] = E[k] + i·O[k] with
+        //   E[k] = (X[k] + X[k+H]) / 2
+        //   O[k] = conj(W^k) · (X[k] - X[k+H]) / 2
+        // where the k+H terms use the Hermitian identity
+        // X[k+H] = conj(X[H-k]) to stay within the stored half.
+        scratch[0] = Complex::new(
+            (spectrum[0].re + spectrum[h].re) * 0.5,
+            (spectrum[0].re - spectrum[h].re) * 0.5,
+        );
+        for (k, slot) in scratch.iter_mut().enumerate().skip(1) {
+            let xk = spectrum[k];
+            let xkh = spectrum[h - k].conj();
+            let e = (xk + xkh).scale(0.5);
+            let o = self.w[k].conj() * (xk - xkh).scale(0.5);
+            *slot = e + Complex::I * o;
+        }
+
+        // The half inverse's 1/H scaling is the whole normalization:
+        // z = IFFT_H(Z) recovers the packed samples exactly, each z[j]
+        // carrying two time-domain samples.
+        self.half.inverse_in_place(scratch)?;
+        for j in 0..h {
+            out[2 * j] = scratch[j].re;
+            out[2 * j + 1] = scratch[j].im;
+        }
+        Ok(())
+    }
+
+    /// Inverse DFT of a Hermitian spectrum (allocating convenience
+    /// wrapper; same bits as [`RealFft::inverse_into`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::LengthMismatch`] if `spectrum.len() != size`.
+    pub fn inverse(&self, spectrum: &[Complex]) -> Result<Vec<f64>, DspError> {
+        let mut scratch = vec![Complex::ZERO; self.size / 2];
+        let mut out = vec![0.0; self.size.min(spectrum.len())];
+        self.inverse_into(spectrum, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+}
+
+/// Unpacks one (k, H−k) bin pair from the half-length spectrum.
+#[inline]
+fn recombine(zk: Complex, zmk: Complex, wk: Complex, whk: Complex) -> (Complex, Complex) {
+    let zmkc = zmk.conj();
+    let e = (zk + zmkc).scale(0.5);
+    let d = (zk - zmkc).scale(0.5);
+    // O[k] = -i·d; then X[k] = E[k] + W^k·O[k].
+    let o = Complex::new(d.im, -d.re);
+    let xk = e + wk * o;
+    // For the partner bin H−k: E[H−k] = conj(E[k]), O[H−k] = conj(O[k]).
+    let xhk = e.conj() + whk * o.conj();
+    (xk, xhk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::dft_naive;
+
+    fn real_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() + 0.4 * (i as f64 * 1.93).cos() + 0.01 * i as f64)
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(RealFft::new(0).is_err());
+        assert!(RealFft::new(2).is_err());
+        assert!(RealFft::new(12).is_err());
+        assert!(RealFft::new(4).is_ok());
+        assert!(RealFft::new(256).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_lengths() {
+        let rfft = RealFft::new(8).unwrap();
+        let mut out = vec![Complex::ZERO; 8];
+        assert!(rfft.forward_into(&[0.0; 4], &mut out).is_err());
+        let mut short = vec![Complex::ZERO; 4];
+        assert!(rfft.forward_into(&[0.0; 8], &mut short).is_err());
+        let spec = vec![Complex::ZERO; 8];
+        let mut time = vec![0.0; 8];
+        let mut bad_scratch = vec![Complex::ZERO; 8];
+        assert!(rfft
+            .inverse_into(&spec, &mut time, &mut bad_scratch)
+            .is_err());
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        for n in [4usize, 8, 16, 64, 256, 1024] {
+            let x = real_signal(n);
+            let xc: Vec<Complex> = x.iter().map(|&v| Complex::from_re(v)).collect();
+            let oracle = dft_naive(&xc);
+            let rfft = RealFft::new(n).unwrap();
+            let got = rfft.forward(&x).unwrap();
+            let scale: f64 = oracle.iter().map(|z| z.abs()).fold(1.0, f64::max);
+            for (k, (a, b)) in got.iter().zip(&oracle).enumerate() {
+                assert!((*a - *b).abs() < 1e-9 * scale, "n={n} bin {k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn close_to_complex_fft_path() {
+        for n in [4usize, 16, 256, 2048] {
+            let x = real_signal(n);
+            let full = Fft::new(n).unwrap().forward_real(&x).unwrap();
+            let packed = RealFft::new(n).unwrap().forward(&x).unwrap();
+            let scale: f64 = full.iter().map(|z| z.abs()).fold(1.0, f64::max);
+            for (k, (a, b)) in packed.iter().zip(&full).enumerate() {
+                assert!((*a - *b).abs() < 1e-12 * scale, "n={n} bin {k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_is_exactly_hermitian() {
+        let n = 64;
+        let x = real_signal(n);
+        let spec = RealFft::new(n).unwrap().forward(&x).unwrap();
+        assert_eq!(spec[0].im.to_bits(), 0.0f64.to_bits());
+        assert_eq!(spec[n / 2].im.to_bits(), 0.0f64.to_bits());
+        for k in 1..n / 2 {
+            let a = spec[k];
+            let b = spec[n - k].conj();
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "bin {k}");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "bin {k}");
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip() {
+        for n in [4usize, 16, 128, 512] {
+            let x = real_signal(n);
+            let rfft = RealFft::new(n).unwrap();
+            let spec = rfft.forward(&x).unwrap();
+            let back = rfft.inverse(&spec).unwrap();
+            for (i, (a, b)) in x.iter().zip(&back).enumerate() {
+                assert!((a - b).abs() < 1e-9, "n={n} sample {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_accepts_classic_fft_spectrum() {
+        // The opt-in correlator computes spectra with RealFft but the
+        // identity must hold for any Hermitian spectrum, e.g. one from
+        // the classic transform.
+        let n = 128;
+        let x = real_signal(n);
+        let spec = Fft::new(n).unwrap().forward_real(&x).unwrap();
+        let back = RealFft::new(n).unwrap().inverse(&spec).unwrap();
+        for (i, (a, b)) in x.iter().zip(&back).enumerate() {
+            assert!((a - b).abs() < 1e-9, "sample {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating() {
+        let n = 256;
+        let x = real_signal(n);
+        let rfft = RealFft::new(n).unwrap();
+        let spec = rfft.forward(&x).unwrap();
+        let mut spec2 = vec![Complex::new(7.0, -3.0); n];
+        rfft.forward_into(&x, &mut spec2).unwrap();
+        for (a, b) in spec.iter().zip(&spec2) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        let time = rfft.inverse(&spec).unwrap();
+        let mut time2 = vec![f64::NAN; n];
+        let mut scratch = vec![Complex::new(1.0, 1.0); n / 2];
+        rfft.inverse_into(&spec, &mut time2, &mut scratch).unwrap();
+        for (a, b) in time.iter().zip(&time2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

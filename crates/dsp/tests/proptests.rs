@@ -1,13 +1,31 @@
 //! Property-based tests for the DSP substrate.
 
 use proptest::prelude::*;
-use wearlock_dsp::correlate::{normalized_cross_correlate, normalized_cross_correlate_fft};
+use wearlock_dsp::correlate::{
+    normalized_cross_correlate, normalized_cross_correlate_fft,
+    normalized_cross_correlate_fft_into, normalized_cross_correlate_fft_real_into,
+    CorrelationWorkspace,
+};
 use wearlock_dsp::level::rms;
 use wearlock_dsp::resample::fractional_delay;
 use wearlock_dsp::stats::{mean, pearson, percentile, variance};
 use wearlock_dsp::units::{Db, Spl};
 use wearlock_dsp::window::{apply_fade, WindowKind};
-use wearlock_dsp::{dft_naive, fft_interpolate, Complex, Fft};
+use wearlock_dsp::{dft_naive, fft_interpolate, Complex, Fft, RealFft};
+
+/// Bit-exact equality for float vectors: the `_into` / in-place entry
+/// points must be the *same computation* as the allocating ones, not
+/// merely a close one.
+fn bits_eq(a: &[Complex], b: &[Complex]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits())
+}
+
+fn scores_bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
 
 fn finite_signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1.0f64..1.0, 1..max_len)
@@ -217,5 +235,133 @@ proptest! {
         let (a, b) = pair;
         let r = pearson(&a, &b);
         prop_assert!(r.abs() <= 1.0 + 1e-9);
+    }
+}
+
+// PR 4 surface: the allocation-free `_into`/in-place variants and the
+// packed real-FFT fast path.
+proptest! {
+    #[test]
+    fn forward_into_and_in_place_are_bitwise_forward(x in complex_signal(64)) {
+        let fft = Fft::new(64).unwrap();
+        let reference = fft.forward(&x).unwrap();
+
+        let mut out = vec![Complex::ZERO; 64];
+        fft.forward_into(&x, &mut out).unwrap();
+        prop_assert!(bits_eq(&reference, &out));
+
+        let mut buf = x.clone();
+        fft.forward_in_place(&mut buf).unwrap();
+        prop_assert!(bits_eq(&reference, &buf));
+    }
+
+    #[test]
+    fn inverse_into_and_in_place_are_bitwise_inverse(x in complex_signal(64)) {
+        let fft = Fft::new(64).unwrap();
+        let reference = fft.inverse(&x).unwrap();
+
+        let mut out = vec![Complex::ZERO; 64];
+        fft.inverse_into(&x, &mut out).unwrap();
+        prop_assert!(bits_eq(&reference, &out));
+
+        let mut buf = x.clone();
+        fft.inverse_in_place(&mut buf).unwrap();
+        prop_assert!(bits_eq(&reference, &buf));
+    }
+
+    #[test]
+    fn forward_real_into_is_bitwise_forward_real(
+        x in prop::collection::vec(-1.0f64..1.0, 64..=64),
+    ) {
+        let fft = Fft::new(64).unwrap();
+        let reference = fft.forward_real(&x).unwrap();
+        let mut out = vec![Complex::ZERO; 64];
+        fft.forward_real_into(&x, &mut out).unwrap();
+        prop_assert!(bits_eq(&reference, &out));
+    }
+
+    #[test]
+    fn packed_real_fft_matches_classic_closely(
+        x in prop::collection::vec(-1.0f64..1.0, 64..=64),
+    ) {
+        // The packed path reorders the arithmetic, so bitwise equality
+        // is impossible by construction; 1e-9 on unit-scale input is
+        // the contract the opt-in fast path is held to.
+        let fft = Fft::new(64).unwrap();
+        let rfft = RealFft::new(64).unwrap();
+        let classic = fft.forward_real(&x).unwrap();
+        let mut packed = vec![Complex::ZERO; 64];
+        rfft.forward_into(&x, &mut packed).unwrap();
+        for (a, b) in classic.iter().zip(&packed) {
+            prop_assert!((*a - *b).abs() < 1e-9, "classic {} vs packed {}", a, b);
+        }
+    }
+
+    #[test]
+    fn correlator_into_is_bitwise_allocating_path(
+        pair in (32usize..400).prop_flat_map(|n| (
+            prop::collection::vec(-1.0f64..1.0, n),
+            2usize..24,
+        )),
+    ) {
+        let (sig, tpl_len) = pair;
+        prop_assume!(tpl_len <= sig.len());
+        let template: Vec<f64> = (0..tpl_len)
+            .map(|i| ((i * 31) as f64 * 0.53).sin() + 0.07)
+            .collect();
+        let reference = normalized_cross_correlate_fft(&sig, &template).unwrap();
+        let mut ws = CorrelationWorkspace::new();
+        let mut scores = Vec::new();
+        normalized_cross_correlate_fft_into(&sig, &template, &mut ws, &mut scores).unwrap();
+        prop_assert!(scores_bits_eq(&reference, &scores));
+    }
+
+    #[test]
+    fn workspace_reuse_never_leaks_state(
+        sig_a in prop::collection::vec(-1.0f64..1.0, 64..300),
+        sig_b in prop::collection::vec(-1.0f64..1.0, 64..300),
+        len_a in prop::sample::select(vec![4usize, 8, 16]),
+        len_b in prop::sample::select(vec![4usize, 8, 16]),
+    ) {
+        // A workspace warmed on one (signal, template-size) pair must
+        // produce bitwise the same scores on the next pair as a fresh
+        // workspace would — including across template sizes, which
+        // force an internal re-plan.
+        let tpl_a: Vec<f64> = (0..len_a).map(|i| (i as f64 * 0.9).sin() + 0.2).collect();
+        let tpl_b: Vec<f64> = (0..len_b).map(|i| (i as f64 * 0.6).cos() + 0.1).collect();
+
+        let mut reused = CorrelationWorkspace::new();
+        let mut scores = Vec::new();
+        normalized_cross_correlate_fft_into(&sig_a, &tpl_a, &mut reused, &mut scores).unwrap();
+        normalized_cross_correlate_fft_into(&sig_b, &tpl_b, &mut reused, &mut scores).unwrap();
+
+        let mut fresh_ws = CorrelationWorkspace::new();
+        let mut fresh = Vec::new();
+        normalized_cross_correlate_fft_real_into(&sig_b, &tpl_b, &mut fresh_ws, &mut fresh)
+            .ok();
+        // Fresh reference comes from the same (classic) entry point.
+        normalized_cross_correlate_fft_into(&sig_b, &tpl_b, &mut fresh_ws, &mut fresh).unwrap();
+        prop_assert!(scores_bits_eq(&fresh, &scores));
+    }
+
+    #[test]
+    fn real_correlator_close_with_equivalent_peak(
+        sig in prop::collection::vec(-1.0f64..1.0, 64..300),
+    ) {
+        let template: Vec<f64> = (0..16).map(|i| (i as f64 * 0.8).sin() + 0.1).collect();
+        let mut ws = CorrelationWorkspace::new();
+        let (mut classic, mut real) = (Vec::new(), Vec::new());
+        normalized_cross_correlate_fft_into(&sig, &template, &mut ws, &mut classic).unwrap();
+        normalized_cross_correlate_fft_real_into(&sig, &template, &mut ws, &mut real).unwrap();
+        prop_assert_eq!(classic.len(), real.len());
+        for (a, b) in classic.iter().zip(&real) {
+            prop_assert!((a - b).abs() < 1e-9, "classic {} vs real {}", a, b);
+        }
+        // Whatever offset the real path ranks best must score within
+        // tolerance of the classic path's own best.
+        let argmax = |v: &[f64]| {
+            v.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).map(|(i, _)| i).unwrap()
+        };
+        prop_assert!((classic[argmax(&real)] - classic[argmax(&classic)]).abs() < 1e-9);
     }
 }

@@ -9,6 +9,7 @@
 //! SNR accounting is comparable across modulations.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use wearlock_dsp::Complex;
 
@@ -110,6 +111,30 @@ impl Modulation {
         }
     }
 
+    /// The constellation points as a cached static table — same values
+    /// as [`Modulation::points`], computed once per modulation so the
+    /// per-symbol hot path (map/demap) never allocates.
+    pub fn point_table(self) -> &'static [Complex] {
+        static TABLES: OnceLock<[Vec<Complex>; 6]> = OnceLock::new();
+        let tables = TABLES.get_or_init(|| Modulation::ALL.map(Modulation::points));
+        let idx = Modulation::ALL
+            .iter()
+            .position(|&m| m == self)
+            .expect("ALL covers every variant");
+        &tables[idx]
+    }
+
+    /// The constellation point for bit pattern `idx` (LSB-first), from
+    /// the cached table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= order()`.
+    #[inline]
+    pub fn point(self, idx: usize) -> Complex {
+        self.point_table()[idx]
+    }
+
     /// Maps `bits_per_symbol` bits (LSB-first) to a constellation point.
     ///
     /// # Panics
@@ -128,7 +153,7 @@ impl Modulation {
                 idx |= 1 << i;
             }
         }
-        self.points()[idx]
+        self.point(idx)
     }
 
     /// De-maps a received symbol to the nearest constellation point's
@@ -140,8 +165,19 @@ impl Modulation {
     /// paper's Fig. 5 finding). Phase-bearing constellations use
     /// minimum Euclidean distance in the complex plane.
     pub fn demap(self, symbol: Complex) -> Vec<bool> {
-        let pts = self.points();
-        let best = match self {
+        let best = self.demap_index(symbol);
+        (0..self.bits_per_symbol())
+            .map(|i| best & (1 << i) != 0)
+            .collect()
+    }
+
+    /// De-maps a received symbol to the nearest constellation point's
+    /// bit *pattern* (the index into [`Modulation::point_table`]),
+    /// without allocating. Same decision rule — and the same
+    /// tie-breaking order — as [`Modulation::demap`].
+    pub fn demap_index(self, symbol: Complex) -> usize {
+        let pts = self.point_table();
+        match self {
             Modulation::Bask | Modulation::Qask => {
                 let mag = symbol.abs();
                 pts.iter()
@@ -159,10 +195,16 @@ impl Modulation {
                     .expect("constellations are non-empty")
                     .0
             }
-        };
-        (0..self.bits_per_symbol())
-            .map(|i| best & (1 << i) != 0)
-            .collect()
+        }
+    }
+
+    /// Appends the LSB-first bits of pattern `idx` to `out` — the
+    /// push-style counterpart of [`Modulation::demap`] for callers
+    /// accumulating a payload without per-symbol allocation.
+    pub fn demap_bits_into(self, idx: usize, out: &mut Vec<bool>) {
+        for i in 0..self.bits_per_symbol() {
+            out.push(idx & (1 << i) != 0);
+        }
     }
 
     /// Average symbol energy (should be ≈1 for all constellations).
@@ -203,18 +245,29 @@ impl fmt::Display for Modulation {
 /// Packs a bit slice into symbols of `modulation`, zero-padding the last
 /// group.
 pub fn map_bits(modulation: Modulation, bits: &[bool]) -> Vec<Complex> {
+    let mut out = Vec::new();
+    map_bits_into(modulation, bits, &mut out);
+    out
+}
+
+/// Packs a bit slice into symbols of `modulation` appended to `out`
+/// (cleared first), zero-padding the last group. Identical symbols to
+/// [`map_bits`] — zero-padding a chunk leaves its LSB-first pattern
+/// unchanged, so partial chunks index the same table entry — with no
+/// per-chunk allocation.
+pub fn map_bits_into(modulation: Modulation, bits: &[bool], out: &mut Vec<Complex>) {
     let bps = modulation.bits_per_symbol();
-    bits.chunks(bps)
-        .map(|chunk| {
-            if chunk.len() == bps {
-                modulation.map(chunk)
-            } else {
-                let mut padded = chunk.to_vec();
-                padded.resize(bps, false);
-                modulation.map(&padded)
+    out.clear();
+    out.reserve(bits.len().div_ceil(bps.max(1)));
+    for chunk in bits.chunks(bps) {
+        let mut idx = 0usize;
+        for (i, &b) in chunk.iter().enumerate() {
+            if b {
+                idx |= 1 << i;
             }
-        })
-        .collect()
+        }
+        out.push(modulation.point(idx));
+    }
 }
 
 /// De-maps symbols back to a bit vector (length `symbols × bps`; the
@@ -315,6 +368,48 @@ mod tests {
                         "adjacent {g1:04b} {g2:04b} differ more than one bit"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn point_table_matches_points() {
+        for m in Modulation::ALL {
+            let fresh = m.points();
+            let cached = m.point_table();
+            assert_eq!(fresh.len(), cached.len());
+            for (i, (a, b)) in fresh.iter().zip(cached).enumerate() {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "{m} point {i}");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "{m} point {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn demap_index_agrees_with_demap() {
+        for m in Modulation::ALL {
+            for pattern in 0..m.order() {
+                let sym = m.point(pattern) + Complex::new(0.05, -0.03);
+                let idx = m.demap_index(sym);
+                let bits = m.demap(sym);
+                let mut via_into = Vec::new();
+                m.demap_bits_into(idx, &mut via_into);
+                assert_eq!(bits, via_into, "{m} pattern {pattern:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_bits_into_matches_map_bits() {
+        let bits: Vec<bool> = (0..37).map(|i| i % 3 != 1).collect();
+        for m in Modulation::ALL {
+            let a = map_bits(m, &bits);
+            let mut b = vec![Complex::ONE; 3]; // stale contents must not leak
+            map_bits_into(m, &bits, &mut b);
+            assert_eq!(a.len(), b.len(), "{m}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.re.to_bits(), y.re.to_bits(), "{m}");
+                assert_eq!(x.im.to_bits(), y.im.to_bits(), "{m}");
             }
         }
     }

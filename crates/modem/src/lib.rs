@@ -50,6 +50,8 @@ pub mod constellation;
 pub mod demodulator;
 mod error;
 pub mod modulator;
+pub mod scratch;
+mod scratch_local;
 pub mod subchannel;
 
 pub use adaptive::{ModePolicy, TransmissionMode};
@@ -57,8 +59,10 @@ pub use coding::{conv_encode, viterbi_decode, TokenCoding};
 pub use config::{FrequencyBand, OfdmConfig};
 pub use constellation::Modulation;
 pub use demodulator::{
-    bit_error_rate, ChannelEstimator, DemodResult, FrameSync, OfdmDemodulator, ProbeReport,
+    bit_error_rate, ChannelEstimator, DemodFrame, DemodResult, FrameSync, OfdmDemodulator,
+    ProbeReport,
 };
 pub use error::ModemError;
 pub use modulator::OfdmModulator;
+pub use scratch::{DemodScratch, TxScratch};
 pub use subchannel::{select_data_channels, SubchannelSelection};

@@ -1,11 +1,14 @@
 //! OFDM transmitter: constellation mapping → pilot insertion → IFFT →
 //! cyclic prefix → preamble framing (paper Fig. 3, TX path).
 
-use wearlock_dsp::{Complex, Fft};
+use std::sync::Arc;
+
+use wearlock_dsp::{cache, Complex, Fft};
 
 use crate::config::OfdmConfig;
-use crate::constellation::{map_bits, Modulation};
+use crate::constellation::{map_bits_into, Modulation};
 use crate::error::ModemError;
+use crate::scratch::TxScratch;
 
 /// The OFDM transmitter.
 ///
@@ -25,19 +28,21 @@ use crate::error::ModemError;
 #[derive(Debug, Clone)]
 pub struct OfdmModulator {
     config: OfdmConfig,
-    fft: Fft,
+    fft: Arc<Fft>,
     preamble: Vec<f64>,
 }
 
 impl OfdmModulator {
-    /// Creates a transmitter for the given configuration.
+    /// Creates a transmitter for the given configuration. The FFT plan
+    /// comes from the process-wide cache, so constructing many
+    /// modulators (one per session attempt) shares one set of tables.
     ///
     /// # Errors
     ///
     /// Returns [`ModemError::Dsp`] if the FFT cannot be planned (the
     /// config validation normally prevents this).
     pub fn new(config: OfdmConfig) -> Result<Self, ModemError> {
-        let fft = Fft::new(config.fft_size())?;
+        let fft = cache::planned(config.fft_size())?;
         let preamble = config.preamble_chirp().generate();
         Ok(OfdmModulator {
             config,
@@ -63,10 +68,19 @@ impl OfdmModulator {
     }
 
     /// Builds one OFDM block (CP + body) from data symbols laid onto the
-    /// data channels; pilots carry unit power, everything else is null.
-    fn build_block(&self, symbols: &[Complex]) -> Result<Vec<f64>, ModemError> {
+    /// data channels and appends it to `out`; pilots carry unit power,
+    /// everything else is null. Allocation-free once `scratch` has
+    /// warmed up (and `out` has capacity).
+    fn build_block_into(
+        &self,
+        symbols: &[Complex],
+        scratch: &mut TxScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), ModemError> {
         let n = self.config.fft_size();
-        let mut spectrum = vec![Complex::ZERO; n];
+        scratch.spectrum.clear();
+        scratch.spectrum.resize(n, Complex::ZERO);
+        let spectrum = &mut scratch.spectrum;
         for &p in self.config.pilot_channels() {
             spectrum[p] = Complex::ONE;
         }
@@ -78,8 +92,13 @@ impl OfdmModulator {
         for k in 1..n / 2 {
             spectrum[n - k] = spectrum[k].conj();
         }
-        let time = self.fft.inverse(&spectrum)?;
-        let mut body: Vec<f64> = time.iter().map(|z| z.re).collect();
+        scratch.time.clear();
+        scratch.time.resize(n, Complex::ZERO);
+        self.fft
+            .inverse_into(&scratch.spectrum, &mut scratch.time)?;
+        scratch.body.clear();
+        scratch.body.extend(scratch.time.iter().map(|z| z.re));
+        let body = &mut scratch.body;
         // Drive the DAC at a consistent level: the IFFT of a few dozen
         // unit tones is ~20 dB quieter than the unit-amplitude chirp
         // preamble, and the speaker calibrates the *whole* frame's RMS
@@ -88,16 +107,16 @@ impl OfdmModulator {
         let rms = (body.iter().map(|x| x * x).sum::<f64>() / body.len() as f64).sqrt();
         if rms > 1e-12 {
             let k = BLOCK_TARGET_RMS / rms;
-            for x in &mut body {
+            for x in body.iter_mut() {
                 *x *= k;
             }
         }
 
         let cp = self.config.cp_len();
-        let mut block = Vec::with_capacity(cp + n);
-        block.extend_from_slice(&body[n - cp..]);
-        block.extend_from_slice(&body);
-        Ok(block)
+        out.reserve(cp + n);
+        out.extend_from_slice(&body[n - cp..]);
+        out.extend_from_slice(body);
+        Ok(())
     }
 
     /// Modulates a payload into a complete frame:
@@ -106,24 +125,56 @@ impl OfdmModulator {
     /// The final partial symbol group is zero-padded; the receiver is
     /// expected to know the payload bit length and truncate.
     ///
+    /// Runs on a thread-local [`TxScratch`]; only the returned `Vec` is
+    /// allocated. [`OfdmModulator::modulate_into`] reuses even that.
+    ///
     /// # Errors
     ///
     /// Returns [`ModemError::InvalidInput`] for an empty payload.
     pub fn modulate(&self, bits: &[bool], modulation: Modulation) -> Result<Vec<f64>, ModemError> {
+        crate::scratch_local::with_tx_scratch(|scratch| {
+            let mut out = Vec::new();
+            self.modulate_into(bits, modulation, scratch, &mut out)?;
+            Ok(out)
+        })
+    }
+
+    /// Modulates a payload into a caller-provided waveform buffer using
+    /// caller-provided scratch — bitwise identical samples to
+    /// [`OfdmModulator::modulate`], with zero allocations after warmup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModemError::InvalidInput`] for an empty payload.
+    pub fn modulate_into(
+        &self,
+        bits: &[bool],
+        modulation: Modulation,
+        scratch: &mut TxScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), ModemError> {
         if bits.is_empty() {
             return Err(ModemError::InvalidInput("payload is empty".into()));
         }
-        let symbols = map_bits(modulation, bits);
+        let mut symbols = std::mem::take(&mut scratch.symbols);
+        map_bits_into(modulation, bits, &mut symbols);
         let per_block = self.config.data_channels().len();
 
-        let mut out = Vec::new();
+        out.clear();
+        out.reserve(self.frame_len(bits.len(), modulation));
         out.extend_from_slice(&self.preamble);
         out.extend(std::iter::repeat_n(0.0, self.config.post_preamble_guard()));
+        let mut result = Ok(());
         for chunk in symbols.chunks(per_block) {
-            out.extend(self.build_block(chunk)?);
+            if let Err(e) = self.build_block_into(chunk, scratch, out) {
+                result = Err(e);
+                break;
+            }
         }
-        fade_in(&mut out, 16);
-        Ok(out)
+        scratch.symbols = symbols;
+        result?;
+        fade_in(out, 16);
+        Ok(())
     }
 
     /// Builds the channel-probing (RTS) signal: the preamble followed by
@@ -132,16 +183,46 @@ impl OfdmModulator {
     /// channels stay empty — the paper's probe for sub-channel selection
     /// and pilot-SNR estimation.
     pub fn probe(&self, pilot_blocks: usize) -> Result<Vec<f64>, ModemError> {
+        crate::scratch_local::with_tx_scratch(|scratch| {
+            let mut out = Vec::new();
+            self.probe_into(pilot_blocks, scratch, &mut out)?;
+            Ok(out)
+        })
+    }
+
+    /// Probe generation into a caller-provided buffer — bitwise
+    /// identical samples to [`OfdmModulator::probe`], zero allocations
+    /// after warmup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModemError::Dsp`] if a block transform fails (the
+    /// config validation normally prevents this).
+    pub fn probe_into(
+        &self,
+        pilot_blocks: usize,
+        scratch: &mut TxScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<(), ModemError> {
         let pilot_blocks = pilot_blocks.max(1);
-        let ones = vec![Complex::ONE; self.config.data_channels().len()];
-        let mut out = Vec::new();
+        let n_data = self.config.data_channels().len();
+        let mut symbols = std::mem::take(&mut scratch.symbols);
+        symbols.clear();
+        symbols.resize(n_data, Complex::ONE);
+        out.clear();
         out.extend_from_slice(&self.preamble);
         out.extend(std::iter::repeat_n(0.0, self.config.post_preamble_guard()));
+        let mut result = Ok(());
         for _ in 0..pilot_blocks {
-            out.extend(self.build_block(&ones)?);
+            if let Err(e) = self.build_block_into(&symbols, scratch, out) {
+                result = Err(e);
+                break;
+            }
         }
-        fade_in(&mut out, 16);
-        Ok(out)
+        scratch.symbols = symbols;
+        result?;
+        fade_in(out, 16);
+        Ok(())
     }
 
     /// Length in samples of a frame carrying `n_bits` at `modulation`.

@@ -1,0 +1,24 @@
+//! Thread-local scratch backing the legacy allocating modem APIs.
+//!
+//! The `_with`/`_into` methods take explicit scratch; the original
+//! signatures (`modulate`, `detect`, `demodulate`, `analyze_probe`, …)
+//! keep working by borrowing a per-thread instance here. The borrow is
+//! confined to a single wrapper call and the `_with` internals never
+//! call back into a wrapper, so the `RefCell` can't be re-entered.
+
+use std::cell::RefCell;
+
+use crate::scratch::{DemodScratch, TxScratch};
+
+thread_local! {
+    static TX: RefCell<TxScratch> = RefCell::new(TxScratch::new());
+    static DEMOD: RefCell<DemodScratch> = RefCell::new(DemodScratch::new());
+}
+
+pub(crate) fn with_tx_scratch<R>(f: impl FnOnce(&mut TxScratch) -> R) -> R {
+    TX.with(|s| f(&mut s.borrow_mut()))
+}
+
+pub(crate) fn with_demod_scratch<R>(f: impl FnOnce(&mut DemodScratch) -> R) -> R {
+    DEMOD.with(|s| f(&mut s.borrow_mut()))
+}

@@ -102,13 +102,40 @@ impl SweepRunner {
         T: Send,
         F: Fn(usize, &mut StdRng) -> T + Sync,
     {
+        self.run_with_scratch(tasks, base_seed, || (), |i, rng, _| f(i, rng))
+    }
+
+    /// [`SweepRunner::run`] with per-worker scratch: every worker calls
+    /// `init` once at startup and hands the same mutable scratch to
+    /// each of its tasks. Sweeps over allocation-heavy pipelines (e.g.
+    /// demodulation with a `DemodScratch`) warm their buffers on the
+    /// first task and run allocation-free afterwards.
+    ///
+    /// Scratch must not carry task results across tasks — it is working
+    /// memory, fully overwritten by each use. Because which worker runs
+    /// which task is scheduling-dependent, any result smuggled through
+    /// scratch would break the determinism contract; results must flow
+    /// only through `f`'s return value.
+    pub fn run_with_scratch<S, T, Init, F>(
+        &self,
+        tasks: usize,
+        base_seed: u64,
+        init: Init,
+        f: F,
+    ) -> Vec<T>
+    where
+        T: Send,
+        Init: Fn() -> S + Sync,
+        F: Fn(usize, &mut StdRng, &mut S) -> T + Sync,
+    {
         if tasks == 0 {
             return Vec::new();
         }
         let workers = self.threads.min(tasks);
         if workers <= 1 {
+            let mut scratch = init();
             return (0..tasks)
-                .map(|i| f(i, &mut task_rng(base_seed, i)))
+                .map(|i| f(i, &mut task_rng(base_seed, i), &mut scratch))
                 .collect();
         }
 
@@ -121,6 +148,7 @@ impl SweepRunner {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
+                    let mut scratch = init();
                     // Batch completed results locally and flush under one
                     // lock per worker lifetime-chunk to keep contention
                     // negligible even for micro-tasks.
@@ -130,7 +158,7 @@ impl SweepRunner {
                         if i >= tasks {
                             break;
                         }
-                        done.push((i, f(i, &mut task_rng(base_seed, i))));
+                        done.push((i, f(i, &mut task_rng(base_seed, i), &mut scratch)));
                         if done.len() >= 32 {
                             let mut slots = slots.lock().expect("no poisoned workers");
                             for (j, v) in done.drain(..) {
@@ -305,6 +333,32 @@ mod tests {
         let observed =
             SweepRunner::new(4).run_with_metrics(40, 0x51, &metrics, |i, rng, _| workload(i, rng));
         assert_eq!(plain, observed);
+    }
+
+    #[test]
+    fn scratch_runs_agree_bitwise_across_thread_counts() {
+        // Scratch-backed workload: accumulate into a reused buffer that
+        // is fully overwritten per task, mimicking a demod scratch.
+        let scratch_workload = |i: usize, rng: &mut StdRng, buf: &mut Vec<f64>| {
+            buf.clear();
+            buf.extend((0..1 + (i % 7) * 30).map(|_| rng.gen::<f64>()));
+            buf.iter().sum::<f64>().to_bits()
+        };
+        let reference =
+            SweepRunner::serial().run_with_scratch(97, 0xfeed, Vec::new, scratch_workload);
+        for threads in [2, 3, 8] {
+            let got =
+                SweepRunner::new(threads).run_with_scratch(97, 0xfeed, Vec::new, scratch_workload);
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_matches_plain_run() {
+        let plain = SweepRunner::new(4).run(40, 0x51, workload);
+        let with_scratch =
+            SweepRunner::new(4).run_with_scratch(40, 0x51, || (), |i, rng, _| workload(i, rng));
+        assert_eq!(plain, with_scratch);
     }
 
     #[test]

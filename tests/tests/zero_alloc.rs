@@ -1,0 +1,177 @@
+//! Counting-allocator harness: proves the modem's scratch-based hot
+//! path performs **zero heap allocations per frame** once warmed up.
+//!
+//! The library crates forbid unsafe code, so the counting
+//! `#[global_allocator]` lives here, in an integration-test binary
+//! root. The tests run single-threaded within this binary's process
+//! (`--test-threads=1` is not required: each assertion snapshots the
+//! counter around its own workload, and the workloads themselves are
+//! allocation-free, but parallel test threads could still interleave —
+//! so every steady-state assertion funnels through one global lock).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use wearlock_modem::config::OfdmConfig;
+use wearlock_modem::constellation::Modulation;
+use wearlock_modem::{DemodFrame, DemodScratch, OfdmDemodulator, OfdmModulator, TxScratch};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: pure delegation to the system allocator plus a relaxed
+// atomic increment that never allocates.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Serializes the measured sections so a concurrently running test
+/// can't charge its allocations to another test's window.
+static MEASURE: Mutex<()> = Mutex::new(());
+
+fn alloc_delta(f: impl FnOnce()) -> u64 {
+    let _guard = MEASURE.lock().expect("measure lock");
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+fn setup() -> (OfdmModulator, OfdmDemodulator, Vec<bool>) {
+    let cfg = OfdmConfig::default();
+    let tx = OfdmModulator::new(cfg.clone()).unwrap();
+    let rx = OfdmDemodulator::new(cfg).unwrap();
+    let bits: Vec<bool> = (0..240).map(|i| (i * 13 + 1) % 7 < 3).collect();
+    (tx, rx, bits)
+}
+
+#[test]
+fn demodulate_frame_is_allocation_free_after_warmup() {
+    let (tx, rx, bits) = setup();
+    let wave = tx.modulate(&bits, Modulation::Qpsk).unwrap();
+    let mut scratch = DemodScratch::new();
+    let mut frame = DemodFrame::new();
+
+    // Warmup: grows scratch buffers, fills the plan cache and the
+    // constellation tables.
+    let sync = rx.detect_with(&wave, &mut scratch).unwrap();
+    rx.demodulate_frame_into(
+        &wave,
+        Modulation::Qpsk,
+        bits.len(),
+        sync,
+        &mut scratch,
+        &mut frame,
+    )
+    .unwrap();
+
+    let delta = alloc_delta(|| {
+        for _ in 0..50 {
+            rx.demodulate_frame_into(
+                &wave,
+                Modulation::Qpsk,
+                bits.len(),
+                sync,
+                &mut scratch,
+                &mut frame,
+            )
+            .unwrap();
+        }
+    });
+    assert_eq!(delta, 0, "steady-state demodulation must not allocate");
+    assert_eq!(frame.bits, bits, "and must still decode correctly");
+}
+
+#[test]
+fn detect_is_allocation_free_after_warmup() {
+    let (tx, rx, bits) = setup();
+    let wave = tx.modulate(&bits, Modulation::Qpsk).unwrap();
+    let mut scratch = DemodScratch::new();
+    let warm = rx.detect_with(&wave, &mut scratch).unwrap();
+
+    let delta = alloc_delta(|| {
+        for _ in 0..20 {
+            let sync = rx.detect_with(&wave, &mut scratch).unwrap();
+            assert_eq!(sync.preamble_offset, warm.preamble_offset);
+        }
+    });
+    assert_eq!(delta, 0, "steady-state detection must not allocate");
+}
+
+#[test]
+fn modulate_into_is_allocation_free_after_warmup() {
+    let (tx, _, bits) = setup();
+    let mut scratch = TxScratch::new();
+    let mut wave = Vec::new();
+    tx.modulate_into(&bits, Modulation::Qam16, &mut scratch, &mut wave)
+        .unwrap();
+    let reference = wave.clone();
+
+    let delta = alloc_delta(|| {
+        for _ in 0..20 {
+            tx.modulate_into(&bits, Modulation::Qam16, &mut scratch, &mut wave)
+                .unwrap();
+        }
+    });
+    assert_eq!(delta, 0, "steady-state modulation must not allocate");
+    assert_eq!(wave, reference, "and must still produce the same frame");
+}
+
+#[test]
+fn full_synced_pipeline_is_allocation_free_per_round() {
+    // TX + RX round trip with every buffer reused: the paper's unlock
+    // loop in miniature. Warm one round, then measure several.
+    let (tx, rx, bits) = setup();
+    let mut tx_scratch = TxScratch::new();
+    let mut scratch = DemodScratch::new();
+    let mut frame = DemodFrame::new();
+    let mut wave = Vec::new();
+
+    tx.modulate_into(&bits, Modulation::Qpsk, &mut tx_scratch, &mut wave)
+        .unwrap();
+    let sync = rx.detect_with(&wave, &mut scratch).unwrap();
+    rx.demodulate_frame_into(
+        &wave,
+        Modulation::Qpsk,
+        bits.len(),
+        sync,
+        &mut scratch,
+        &mut frame,
+    )
+    .unwrap();
+
+    let delta = alloc_delta(|| {
+        for _ in 0..10 {
+            tx.modulate_into(&bits, Modulation::Qpsk, &mut tx_scratch, &mut wave)
+                .unwrap();
+            let sync = rx.detect_with(&wave, &mut scratch).unwrap();
+            rx.demodulate_frame_into(
+                &wave,
+                Modulation::Qpsk,
+                bits.len(),
+                sync,
+                &mut scratch,
+                &mut frame,
+            )
+            .unwrap();
+        }
+    });
+    assert_eq!(delta, 0, "synced TX→RX rounds must not allocate");
+    assert_eq!(frame.bits, bits);
+}
