@@ -24,7 +24,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use wearlock_bench::{perf, report};
+use wearlock_bench::{fleet, perf, report};
 use wearlock_runtime::SweepRunner;
 use wearlock_telemetry::MetricsRecorder;
 
@@ -101,6 +101,39 @@ fn main() {
         bench_out = args[i + 1].clone();
         args.drain(i..=i + 1);
     }
+    let mut fleet_users = 2_000u64;
+    if let Some(i) = args.iter().position(|a| a == "--users") {
+        if i + 1 >= args.len() {
+            eprintln!("--users requires a value");
+            std::process::exit(2);
+        }
+        fleet_users = args[i + 1].parse().unwrap_or_else(|_| {
+            eprintln!("--users takes a positive integer");
+            std::process::exit(2);
+        });
+        args.drain(i..=i + 1);
+    }
+    let mut fleet_rate_hz = 1.0 / 60.0;
+    if let Some(i) = args.iter().position(|a| a == "--arrival-rate") {
+        if i + 1 >= args.len() {
+            eprintln!("--arrival-rate requires a value in Hz");
+            std::process::exit(2);
+        }
+        fleet_rate_hz = args[i + 1].parse().unwrap_or_else(|_| {
+            eprintln!("--arrival-rate takes a number of attempts per second");
+            std::process::exit(2);
+        });
+        args.drain(i..=i + 1);
+    }
+    let mut fleet_out = String::from("BENCH_pr5.json");
+    if let Some(i) = args.iter().position(|a| a == "--fleet-out") {
+        if i + 1 >= args.len() {
+            eprintln!("--fleet-out requires an output path");
+            std::process::exit(2);
+        }
+        fleet_out = args[i + 1].clone();
+        args.drain(i..=i + 1);
+    }
     let runner = SweepRunner::new(threads);
     let metrics = MetricsRecorder::new();
 
@@ -121,6 +154,7 @@ fn main() {
         "table2",
         "casestudy",
         "perf",
+        "fleet",
     ];
     if let Some(bad) = args.iter().find(|a| !KNOWN.contains(&a.as_str())) {
         eprintln!("unknown experiment '{bad}'; known: {}", KNOWN.join(" "));
@@ -237,6 +271,24 @@ fn main() {
             std::process::exit(1);
         }
         println!("\nperf: wrote {bench_out}");
+    }
+    // `fleet` is opt-in like `perf`, but for cost rather than
+    // determinism: its sweep runs tens of thousands of full unlock
+    // attempts, so it should not ride along with every `all`. Its
+    // output is fully deterministic (virtual time only) and is diffed
+    // across `--threads` values in CI.
+    if args.iter().any(|a| a == "fleet") {
+        let cells = fleet::sweep(&runner, SEED, fleet_users, fleet_rate_hz, &metrics);
+        print(
+            &format!("Fleet - {fleet_users} users x arrival-rate sweep (sharded, virtual time)"),
+            fleet::rows(&cells),
+        );
+        let json = fleet::to_json(&cells);
+        if let Err(e) = std::fs::write(&fleet_out, &json) {
+            eprintln!("failed to write {fleet_out}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nfleet: wrote {fleet_out}");
     }
 
     if let Some(path) = metrics_path {

@@ -1,0 +1,208 @@
+//! The `repro fleet` experiment: a users × arrival-rate sweep over the
+//! sharded fleet simulator, emitted as `BENCH_pr5.json`.
+//!
+//! Unlike `perf`, everything here is simulated virtual time, so the
+//! whole document — throughput, latency percentiles, eviction and
+//! backpressure counters — is deterministic and bitwise identical for
+//! every `--threads` value. CI gates on two fields:
+//! `.fleet.evictions_within_budget` (the LRU store invariant held in
+//! every cell) and `.fleet.max_throughput_per_s` (the fleet actually
+//! processed traffic).
+
+use wearlock_fleet::{FleetConfig, FleetEngine, FleetReport};
+use wearlock_runtime::SweepRunner;
+use wearlock_telemetry::MetricsRecorder;
+
+/// Fractions of the requested population each sweep column simulates;
+/// the last column is the full `--users` population.
+const USER_FRACTIONS: &[f64] = &[0.1, 0.4, 1.0];
+
+/// Multipliers on the mean arrival rate; 1.0 is the nominal load, the
+/// lower scale shows how the queues relax.
+const RATE_SCALES: &[f64] = &[0.5, 1.0];
+
+/// Simulated horizon of every cell, seconds. With the default arrival
+/// rate of one attempt per user-minute this is ~one attempt per user,
+/// which keeps the 10k-user CI smoke run in interactive time.
+const DURATION_S: f64 = 60.0;
+
+/// One cell of the sweep: a population size, a load scale, and the
+/// fleet report they produced.
+#[derive(Debug, Clone)]
+pub struct FleetCell {
+    /// Users simulated in this cell.
+    pub users: u64,
+    /// Arrival-rate multiplier applied to the mean rate.
+    pub rate_scale: f64,
+    /// The simulation result.
+    pub report: FleetReport,
+}
+
+/// Runs the users × arrival-rate grid. Cells run sequentially (each
+/// one fans its shards out over `runner`), their attempts all record
+/// into `metrics`, and fleet-level gauges are set post-aggregation on
+/// the calling thread — so recorder contents stay thread-count
+/// independent like the reports themselves.
+pub fn sweep(
+    runner: &SweepRunner,
+    seed: u64,
+    users: u64,
+    mean_arrival_rate_hz: f64,
+    metrics: &MetricsRecorder,
+) -> Vec<FleetCell> {
+    let mut cells = Vec::new();
+    for &fraction in USER_FRACTIONS {
+        let cell_users = ((users as f64 * fraction).round() as u64).max(1);
+        for &scale in RATE_SCALES {
+            let config = FleetConfig {
+                seed,
+                users: cell_users,
+                duration_s: DURATION_S,
+                mean_arrival_rate_hz: mean_arrival_rate_hz * scale,
+                ..FleetConfig::default()
+            };
+            let report = FleetEngine::new(config).run(runner, metrics);
+            cells.push(FleetCell {
+                users: cell_users,
+                rate_scale: scale,
+                report,
+            });
+        }
+    }
+
+    let full = &cells.last().expect("grid is non-empty").report;
+    metrics.set_gauge("fleet.unlock_rate", full.unlock_rate);
+    metrics.set_gauge("fleet.throughput_per_s", full.throughput_per_s);
+    metrics.set_gauge("fleet.p99_latency_s", full.p99_latency_s);
+    metrics.set_gauge("fleet.rejected", full.rejected as f64);
+    metrics.set_gauge("fleet.evictions", full.evictions as f64);
+    cells
+}
+
+/// Whether the LRU store invariant (`evictions <= creations <=
+/// accepted`) held in every cell — the CI gate.
+pub fn evictions_within_budget(cells: &[FleetCell]) -> bool {
+    cells.iter().all(|c| c.report.evictions_within_budget())
+}
+
+/// The best accepted-attempt throughput any cell sustained.
+pub fn max_throughput_per_s(cells: &[FleetCell]) -> f64 {
+    cells
+        .iter()
+        .map(|c| c.report.throughput_per_s)
+        .fold(0.0, f64::max)
+}
+
+/// Renders the grid as the `BENCH_pr5.json` document.
+pub fn to_json(cells: &[FleetCell]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"wearlock.bench.pr5.v1\",\n  \"fleet\": {\n");
+    s.push_str(&format!(
+        "    \"evictions_within_budget\": {},\n",
+        evictions_within_budget(cells)
+    ));
+    s.push_str(&format!(
+        "    \"max_throughput_per_s\": {},\n",
+        max_throughput_per_s(cells)
+    ));
+    s.push_str("    \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let r = &c.report;
+        s.push_str(&format!(
+            "      {{\"users\": {}, \"rate_scale\": {}, \"shards\": {}, \
+             \"duration_s\": {}, \"arrivals\": {}, \"accepted\": {}, \
+             \"rejected\": {}, \"unlocked\": {}, \"unlock_rate\": {}, \
+             \"throughput_per_s\": {}, \"p50_latency_s\": {}, \
+             \"p99_latency_s\": {}, \"session_creations\": {}, \
+             \"evictions\": {}}}{}\n",
+            c.users,
+            c.rate_scale,
+            r.shards,
+            r.duration_s,
+            r.arrivals,
+            r.accepted,
+            r.rejected,
+            r.unlocked,
+            r.unlock_rate,
+            r.throughput_per_s,
+            r.p50_latency_s,
+            r.p99_latency_s,
+            r.session_creations,
+            r.evictions,
+            if i + 1 < cells.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("    ]\n  }\n}\n");
+    s
+}
+
+/// Human-readable rows for the repro printout.
+pub fn rows(cells: &[FleetCell]) -> Vec<String> {
+    let mut out = vec![format!(
+        "{:>8} {:>6} {:>9} {:>9} {:>9} {:>8} {:>10} {:>10} {:>10} {:>8}",
+        "users",
+        "rate",
+        "arrivals",
+        "accepted",
+        "rejected",
+        "unlock",
+        "attempts/s",
+        "p50 (s)",
+        "p99 (s)",
+        "evicted"
+    )];
+    for c in cells {
+        let r = &c.report;
+        out.push(format!(
+            "{:>8} {:>5.2}x {:>9} {:>9} {:>9} {:>7.1}% {:>10.2} {:>10.3} {:>10.3} {:>8}",
+            c.users,
+            c.rate_scale,
+            r.arrivals,
+            r.accepted,
+            r.rejected,
+            r.unlock_rate * 100.0,
+            r.throughput_per_s,
+            r.p50_latency_s,
+            r.p99_latency_s,
+            r.evictions,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep() -> Vec<FleetCell> {
+        sweep(
+            &SweepRunner::new(0),
+            20170605,
+            60,
+            1.0 / 60.0,
+            &MetricsRecorder::new(),
+        )
+    }
+
+    #[test]
+    fn sweep_covers_the_grid_and_holds_the_invariant() {
+        let cells = tiny_sweep();
+        assert_eq!(cells.len(), USER_FRACTIONS.len() * RATE_SCALES.len());
+        assert!(evictions_within_budget(&cells));
+        assert!(max_throughput_per_s(&cells) > 0.0);
+        assert_eq!(
+            cells.last().unwrap().users,
+            60,
+            "last cell is the full population"
+        );
+    }
+
+    #[test]
+    fn json_exposes_the_ci_gated_fields() {
+        let cells = tiny_sweep();
+        let json = to_json(&cells);
+        assert!(json.contains("\"schema\": \"wearlock.bench.pr5.v1\""));
+        assert!(json.contains("\"evictions_within_budget\": true"));
+        assert!(json.contains("\"max_throughput_per_s\": "));
+        assert!(json.contains("\"rejected\": "));
+    }
+}

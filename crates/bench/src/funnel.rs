@@ -6,14 +6,13 @@
 //! energy aggregates.
 //!
 //! This is the `repro funnel` experiment and the natural consumer of
-//! `--metrics`: every attempt runs through
-//! [`UnlockSession::attempt_observed`] with a per-task
-//! [`MetricsRecorder`], and the merged snapshot both renders the text
-//! report and serializes to the metrics JSON.
+//! `--metrics`: every attempt runs through [`UnlockSession::run`] with
+//! a per-task [`MetricsRecorder`] sink, and the merged snapshot both
+//! renders the text report and serializes to the metrics JSON.
 
 use wearlock::config::WearLockConfig;
 use wearlock::environment::{Environment, MotionScenario};
-use wearlock::session::{outcome_event, UnlockSession};
+use wearlock::session::{outcome_event, AttemptOptions, UnlockSession};
 use wearlock_acoustics::channel::PathKind;
 use wearlock_acoustics::noise::Location;
 use wearlock_dsp::units::Meters;
@@ -90,7 +89,7 @@ pub fn run(
         let env = &scenarios[i / trials].env;
         let mut session =
             UnlockSession::new(WearLockConfig::default()).expect("default config is valid");
-        let report = session.attempt_observed(env, sink, rng);
-        outcome_event(report.outcome)
+        let series = session.run(env, &AttemptOptions::new().sink(sink), rng);
+        outcome_event(series.final_attempt().outcome)
     })
 }

@@ -7,6 +7,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig789;
+pub mod fleet;
 pub mod funnel;
 pub mod perf;
 pub mod report;

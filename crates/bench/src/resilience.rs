@@ -3,8 +3,8 @@
 //!
 //! Sweeps the fault-injection intensity from zero (the benign baseline
 //! — byte-identical to the unfaulted pipeline) to full, running a batch
-//! of budgeted retry series ([`UnlockSession::attempt_resilient`]) at
-//! each level. Each (intensity, trial) pair is an independent task with
+//! of budgeted retry series ([`UnlockSession::run`] with a retry policy
+//! and a fault injector) at each level. Each (intensity, trial) pair is an independent task with
 //! its own session, derived RNG and [`FaultInjector`] seed, so both the
 //! degradation curve and the merged metrics are bitwise identical for
 //! any worker count.
@@ -19,7 +19,9 @@ use rand::Rng;
 
 use wearlock::config::WearLockConfig;
 use wearlock::environment::Environment;
-use wearlock::session::{ResilientOutcome, RetryPolicy, UnlockSession};
+use wearlock::session::{
+    AttemptOptions, AttemptSummary, ResilientOutcome, RetryPolicy, UnlockSession,
+};
 use wearlock_faults::{FaultConfig, FaultInjector, FaultIntensity};
 use wearlock_runtime::SweepRunner;
 use wearlock_telemetry::MetricsRecorder;
@@ -94,8 +96,11 @@ pub fn run(
                 rng.gen::<u64>(),
                 FaultIntensity::uniform(intensity),
             ));
-            let rep =
-                session.attempt_resilient(&Environment::default(), &injector, &policy, sink, rng);
+            let options = AttemptOptions::new()
+                .fault_injector(injector)
+                .retry_policy(policy)
+                .sink(sink);
+            let rep = session.run(&Environment::default(), &options, rng);
             TrialResult {
                 unlocked: rep.unlocked(),
                 surrendered: rep.outcome == ResilientOutcome::PinFallback,

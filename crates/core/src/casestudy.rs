@@ -20,7 +20,7 @@ use wearlock_dsp::units::Meters;
 
 use crate::config::WearLockConfig;
 use crate::environment::Environment;
-use crate::session::{DenyReason, Outcome, UnlockSession};
+use crate::session::{AttemptOptions, DenyReason, Outcome, UnlockSession};
 use crate::WearLockError;
 
 /// A scripted participant behaviour.
@@ -175,7 +175,8 @@ pub fn run_case_study_observed<R: Rng + ?Sized>(
         let mut nlos_flags = 0;
         let mut nlos_denials = 0;
         for _ in 0..trials {
-            let report = session.attempt_observed(&env, sink, rng);
+            let series = session.run(&env, &AttemptOptions::new().sink(sink), rng);
+            let report = series.final_attempt();
             if report.outcome.unlocked() {
                 token_unlocks += 1;
             }

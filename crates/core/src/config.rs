@@ -9,7 +9,7 @@ use wearlock_platform::device::DeviceModel;
 use wearlock_platform::link::Transport;
 use wearlock_sensors::MotionFilter;
 
-use crate::error::WearLockError;
+use crate::error::{ConfigError, WearLockError};
 
 /// Where the heavy DSP of an unlock attempt runs (paper §V).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -423,28 +423,67 @@ impl WearLockConfigBuilder {
 
     /// Validates and builds the configuration.
     ///
+    /// Validation is eager: every field is checked here, up front, so a
+    /// value that would have failed or been silently clamped deep inside
+    /// an unlock attempt (a zero-pilot probe, an unusable NLOS BER
+    /// relaxation) is rejected at build time with a typed
+    /// [`ConfigError`].
+    ///
     /// # Errors
     ///
-    /// Returns [`WearLockError::InvalidConfig`] for empty keys, a zero
-    /// repetition, or invalid sub-component parameters.
+    /// Returns [`WearLockError::Config`] naming the offending field, or
+    /// a sub-component error for invalid modem/policy parameters.
     pub fn build(self) -> Result<WearLockConfig, WearLockError> {
         if self.otp_key.is_empty() {
-            return Err(WearLockError::InvalidConfig("otp key is empty".into()));
+            return Err(ConfigError::EmptyOtpKey.into());
         }
         if self.repetition == 0 {
-            return Err(WearLockError::InvalidConfig(
-                "token repetition must be >= 1".into(),
-            ));
+            return Err(ConfigError::ZeroRepetition.into());
         }
-        if self.secure_range.value() <= 0.0 || self.secure_range.value().is_nan() {
-            return Err(WearLockError::InvalidConfig(
-                "secure range must be positive".into(),
-            ));
+        let range = self.secure_range.value();
+        if range <= 0.0 || !range.is_finite() {
+            return Err(ConfigError::InvalidSecureRange { value: range }.into());
         }
         if !(0.0..=1.0).contains(&self.ambient_similarity_threshold) {
-            return Err(WearLockError::InvalidConfig(
-                "ambient similarity threshold must be in [0, 1]".into(),
-            ));
+            return Err(ConfigError::InvalidAmbientThreshold {
+                value: self.ambient_similarity_threshold,
+            }
+            .into());
+        }
+        if self.nlos_spread_threshold <= 0.0 || !self.nlos_spread_threshold.is_finite() {
+            return Err(ConfigError::InvalidNlosSpreadThreshold {
+                value: self.nlos_spread_threshold,
+            }
+            .into());
+        }
+        if !(0.0..=1.0).contains(&self.nlos_score_threshold) {
+            return Err(ConfigError::InvalidNlosScoreThreshold {
+                value: self.nlos_score_threshold,
+            }
+            .into());
+        }
+        if let Some(relaxed) = self.nlos_relax_max_ber {
+            // The session applies this through `ModePolicy::new`, which
+            // accepts targets in (0, 0.5]; catch unusable values here
+            // instead of silently ignoring them mid-attempt.
+            if !(relaxed > 0.0 && relaxed <= 0.5) {
+                return Err(ConfigError::InvalidNlosRelaxMaxBer { value: relaxed }.into());
+            }
+        }
+        if self.replay_window < 0.0 || !self.replay_window.is_finite() {
+            return Err(ConfigError::InvalidReplayWindow {
+                value: self.replay_window,
+            }
+            .into());
+        }
+        if self.probe_blocks == 0 {
+            return Err(ConfigError::ZeroProbeBlocks.into());
+        }
+        if !self.min_volume.value().is_finite() {
+            return Err(ConfigError::InvalidMinVolume {
+                value: self.min_volume.value(),
+            }
+            .into());
         }
         let modem = match self.modem {
             Some(m) => m,
@@ -478,7 +517,7 @@ impl WearLockConfigBuilder {
             plan,
             speaker: self.speaker,
             max_failures: self.max_failures,
-            probe_blocks: self.probe_blocks.max(1),
+            probe_blocks: self.probe_blocks,
             subchannel_selection: self.subchannel_selection,
             min_volume: self.min_volume,
         })
@@ -499,6 +538,14 @@ mod tests {
         assert_eq!(cfg.transport(), Transport::Wifi);
     }
 
+    /// Unwraps the typed variant a failing build must produce.
+    fn config_err(result: Result<WearLockConfig, WearLockError>) -> ConfigError {
+        match result {
+            Err(WearLockError::Config(e)) => e,
+            other => panic!("expected a typed ConfigError, got {other:?}"),
+        }
+    }
+
     #[test]
     fn builder_validation() {
         assert!(WearLockConfig::builder()
@@ -515,6 +562,117 @@ mod tests {
             .build()
             .is_err());
         assert!(WearLockConfig::builder().max_ber(0.9).build().is_err());
+    }
+
+    #[test]
+    fn rejects_empty_otp_key() {
+        let e = config_err(WearLockConfig::builder().otp_key(Vec::new()).build());
+        assert_eq!(e, ConfigError::EmptyOtpKey);
+    }
+
+    #[test]
+    fn rejects_zero_repetition() {
+        let e = config_err(WearLockConfig::builder().repetition(0).build());
+        assert_eq!(e, ConfigError::ZeroRepetition);
+    }
+
+    #[test]
+    fn rejects_bad_secure_range() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let e = config_err(WearLockConfig::builder().secure_range(Meters(bad)).build());
+            assert!(matches!(e, ConfigError::InvalidSecureRange { .. }), "{bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_ambient_threshold_outside_unit_interval() {
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let e = config_err(
+                WearLockConfig::builder()
+                    .ambient_similarity_threshold(bad)
+                    .build(),
+            );
+            assert!(
+                matches!(e, ConfigError::InvalidAmbientThreshold { .. }),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_nlos_spread_threshold() {
+        for bad in [0.0, -6e-4, f64::NAN] {
+            let e = config_err(WearLockConfig::builder().nlos_spread_threshold(bad).build());
+            assert!(
+                matches!(e, ConfigError::InvalidNlosSpreadThreshold { .. }),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_nlos_score_threshold_outside_unit_interval() {
+        for bad in [-0.01, 1.01, f64::NAN] {
+            let e = config_err(WearLockConfig::builder().nlos_score_threshold(bad).build());
+            assert!(
+                matches!(e, ConfigError::InvalidNlosScoreThreshold { .. }),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unusable_nlos_relaxation() {
+        // Would be silently ignored mid-attempt before eager validation.
+        for bad in [0.0, -0.1, 0.6, f64::NAN] {
+            let e = config_err(
+                WearLockConfig::builder()
+                    .nlos_relax_max_ber(Some(bad))
+                    .build(),
+            );
+            assert!(
+                matches!(e, ConfigError::InvalidNlosRelaxMaxBer { .. }),
+                "{bad}"
+            );
+        }
+        // The in-range relaxation the field test uses still builds.
+        assert!(WearLockConfig::builder()
+            .nlos_relax_max_ber(Some(0.25))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_replay_window() {
+        for bad in [-0.25, f64::NAN, f64::INFINITY] {
+            let e = config_err(WearLockConfig::builder().replay_window(bad).build());
+            assert!(
+                matches!(e, ConfigError::InvalidReplayWindow { .. }),
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_zero_probe_blocks() {
+        // Previously clamped to 1 silently; now a typed error.
+        let e = config_err(WearLockConfig::builder().probe_blocks(0).build());
+        assert_eq!(e, ConfigError::ZeroProbeBlocks);
+    }
+
+    #[test]
+    fn rejects_non_finite_min_volume() {
+        let e = config_err(WearLockConfig::builder().min_volume(Spl(f64::NAN)).build());
+        assert!(matches!(e, ConfigError::InvalidMinVolume { .. }));
+    }
+
+    #[test]
+    fn config_error_display_names_the_field() {
+        let e = config_err(WearLockConfig::builder().probe_blocks(0).build());
+        assert_eq!(e.to_string(), "probe must have at least one pilot block");
+        let top = WearLockError::from(e);
+        assert!(top.to_string().starts_with("invalid configuration:"));
+        assert!(std::error::Error::source(&top).is_some());
     }
 
     #[test]

@@ -12,7 +12,7 @@ use wearlock_platform::pin::PinEntryModel;
 
 use crate::config::{NamedConfig, WearLockConfig};
 use crate::environment::Environment;
-use crate::session::{Outcome, UnlockSession};
+use crate::session::{AttemptOptions, Outcome, UnlockSession};
 use crate::WearLockError;
 
 /// Delay breakdown of one (successful) unlock attempt.
@@ -83,7 +83,8 @@ pub fn measure_breakdown_observed<R: Rng + ?Sized>(
     let mut guard = 0;
     while collected.len() < trials && guard < trials * 10 {
         guard += 1;
-        let report = session.attempt_observed(env, sink, rng);
+        let mut series = session.run(env, &AttemptOptions::new().sink(sink), rng);
+        let report = series.attempts.pop().expect("single attempt");
         if let Outcome::Unlocked(crate::session::UnlockPath::Acoustic(_)) = report.outcome {
             collected.push(report);
         }

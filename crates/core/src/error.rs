@@ -3,12 +3,115 @@
 use std::error::Error;
 use std::fmt;
 
+/// A typed configuration-validation failure.
+///
+/// Every variant names the offending builder field and carries the
+/// rejected value, so callers can match on the exact problem instead of
+/// parsing a message string. [`WearLockConfigBuilder::build`] validates
+/// eagerly: every field is checked up front and the first violation is
+/// returned, rather than surfacing later as a panic or a silently
+/// clamped value mid-attempt.
+///
+/// [`WearLockConfigBuilder::build`]: crate::config::WearLockConfigBuilder::build
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The shared OTP secret is empty.
+    EmptyOtpKey,
+    /// The token repetition factor is zero.
+    ZeroRepetition,
+    /// The secure range is not a positive finite distance, metres.
+    InvalidSecureRange {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The ambient-similarity threshold is outside `[0, 1]`.
+    InvalidAmbientThreshold {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The NLOS RMS-delay-spread threshold is not positive and finite.
+    InvalidNlosSpreadThreshold {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The NLOS preamble-score threshold is outside `[0, 1]`.
+    InvalidNlosScoreThreshold {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The NLOS BER relaxation target is outside `(0, 0.5]` — it could
+    /// never satisfy `ModePolicy::new` when an attempt tries to apply
+    /// it.
+    InvalidNlosRelaxMaxBer {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The replay timing window is negative or not finite, seconds.
+    InvalidReplayWindow {
+        /// The rejected value.
+        value: f64,
+    },
+    /// The probe has zero pilot blocks, so phase 1 could never
+    /// estimate the channel.
+    ZeroProbeBlocks,
+    /// The minimum transmit volume is not finite, dB SPL.
+    InvalidMinVolume {
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::EmptyOtpKey => f.write_str("otp key is empty"),
+            ConfigError::ZeroRepetition => f.write_str("token repetition must be >= 1"),
+            ConfigError::InvalidSecureRange { value } => {
+                write!(f, "secure range must be positive and finite, got {value} m")
+            }
+            ConfigError::InvalidAmbientThreshold { value } => {
+                write!(
+                    f,
+                    "ambient similarity threshold must be in [0, 1], got {value}"
+                )
+            }
+            ConfigError::InvalidNlosSpreadThreshold { value } => {
+                write!(
+                    f,
+                    "NLOS spread threshold must be positive and finite, got {value} s"
+                )
+            }
+            ConfigError::InvalidNlosScoreThreshold { value } => {
+                write!(f, "NLOS score threshold must be in [0, 1], got {value}")
+            }
+            ConfigError::InvalidNlosRelaxMaxBer { value } => {
+                write!(f, "NLOS relaxed MaxBER must be in (0, 0.5], got {value}")
+            }
+            ConfigError::InvalidReplayWindow { value } => {
+                write!(
+                    f,
+                    "replay window must be non-negative and finite, got {value} s"
+                )
+            }
+            ConfigError::ZeroProbeBlocks => f.write_str("probe must have at least one pilot block"),
+            ConfigError::InvalidMinVolume { value } => {
+                write!(f, "minimum volume must be finite, got {value} dB SPL")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
 /// Errors surfaced by the WearLock system crate.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum WearLockError {
     /// Configuration was invalid.
     InvalidConfig(String),
+    /// A configuration field failed eager validation.
+    Config(ConfigError),
     /// The underlying modem failed.
     Modem(wearlock_modem::ModemError),
     /// The acoustic simulator failed.
@@ -23,6 +126,7 @@ impl fmt::Display for WearLockError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WearLockError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            WearLockError::Config(e) => write!(f, "invalid configuration: {e}"),
             WearLockError::Modem(e) => write!(f, "modem: {e}"),
             WearLockError::Acoustics(e) => write!(f, "acoustics: {e}"),
             WearLockError::Sensors(e) => write!(f, "sensors: {e}"),
@@ -34,11 +138,18 @@ impl fmt::Display for WearLockError {
 impl Error for WearLockError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
+            WearLockError::Config(e) => Some(e),
             WearLockError::Modem(e) => Some(e),
             WearLockError::Acoustics(e) => Some(e),
             WearLockError::Sensors(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ConfigError> for WearLockError {
+    fn from(e: ConfigError) -> Self {
+        WearLockError::Config(e)
     }
 }
 

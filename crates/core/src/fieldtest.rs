@@ -17,7 +17,7 @@ use wearlock_modem::TransmissionMode;
 
 use crate::config::WearLockConfig;
 use crate::environment::Environment;
-use crate::session::UnlockSession;
+use crate::session::{AttemptOptions, UnlockSession};
 use crate::WearLockError;
 
 /// Hand configuration of the field test.
@@ -155,7 +155,8 @@ pub fn run_field_test_observed<R: Rng + ?Sized>(
                 // flip between identical runs.
                 let mut modes = std::collections::BTreeMap::new();
                 for _ in 0..trials {
-                    let report = session.attempt_observed(&env, sink, rng);
+                    let series = session.run(&env, &AttemptOptions::new().sink(sink), rng);
+                    let report = series.final_attempt();
                     if let Some(ber) = report.measured_ber {
                         bers.push(ber);
                     }

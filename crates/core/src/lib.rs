@@ -60,5 +60,8 @@ pub mod trim;
 
 pub use config::{ExecutionPlan, NamedConfig, WearLockConfig};
 pub use environment::{Environment, MotionScenario};
-pub use error::WearLockError;
-pub use session::{AttemptReport, DenyReason, Outcome, UnlockPath, UnlockSession};
+pub use error::{ConfigError, WearLockError};
+pub use session::{
+    AttemptOptions, AttemptReport, AttemptSummary, DenyReason, Outcome, ResilienceReport,
+    ResilientOutcome, RetryPolicy, RetryReport, UnlockPath, UnlockSession,
+};

@@ -310,9 +310,178 @@ impl UnlockSession {
             .with_detection_threshold(self.config.nlos_score_threshold.max(0.3))
     }
 
+    /// The unified unlock entry point: one attempt, or a budgeted retry
+    /// series, with optional telemetry and fault injection — all
+    /// selected by `options`. The five legacy `attempt_*` methods are
+    /// thin wrappers over this.
+    ///
+    /// With no retry policy set, `run` executes exactly one attempt
+    /// under a degenerate policy (no backoff, no PIN surrender), making
+    /// byte-identical RNG draws to the legacy [`UnlockSession::attempt`]
+    /// path — the property tests pin the two reports equal. With
+    /// [`AttemptOptions::retry_policy`] it is the budgeted retry ladder
+    /// documented on [`RetryPolicy`]: retry until unlocked, the channel
+    /// proves unfixable (`NoWirelessLink`), or the budget runs out —
+    /// then (policy permitting) surrender to manual PIN entry.
+    ///
+    /// Ladder rules per failed attempt:
+    ///
+    /// * `NoWirelessLink` — nothing to retry against; hard denial.
+    /// * Channel-quality denials (probe lost, NLOS, SNR too low, token
+    ///   rejected) — **escalate**: the next attempt re-runs the full
+    ///   RTS/CTS probe with a boosted volume and a relaxed BER target.
+    /// * Other denials — plain backoff retry.
+    /// * Budget exhausted (attempts, wall clock) or locked out —
+    ///   **surrender** to PIN when the policy allows, else deny.
+    ///
+    /// Backoff is exponential with a deterministic jitter drawn from
+    /// `rng` (the session's seeded stream), so the whole series is
+    /// reproducible. Every decision is emitted to the options' sink as
+    /// a [`RetryEvent`]; fault randomness comes from plan-owned seeds,
+    /// never from `rng` (the null-fault contract).
+    pub fn run<R: Rng + ?Sized>(
+        &mut self,
+        env: &Environment,
+        options: &AttemptOptions<'_>,
+        rng: &mut R,
+    ) -> ResilienceReport {
+        let sink = options.sink;
+        let policy = options.retry.unwrap_or_else(RetryPolicy::single_attempt);
+        let mut attempts: Vec<AttemptReport> = Vec::new();
+        let mut tuning = AttemptTuning::default();
+        let mut attempt_total = 0.0;
+        let mut backoff_total = 0.0;
+        let mut escalations = 0u32;
+        loop {
+            let faults = match options.faults {
+                FaultSource::Plan(plan) => plan,
+                FaultSource::Injector(injector) => injector.plan(attempts.len() as u64),
+            };
+            let report = self.run_attempt(env, &faults, tuning, sink, rng);
+            Self::emit_attempt(&report, sink);
+            attempt_total += report.total_delay.value();
+            let outcome = report.outcome;
+            attempts.push(report);
+            let tries = attempts.len() as u32;
+
+            let reason = match outcome {
+                Outcome::Unlocked(path) => {
+                    return ResilienceReport {
+                        outcome: ResilientOutcome::Unlocked(path),
+                        attempts,
+                        total_delay: Seconds(attempt_total + backoff_total),
+                        backoff_delay: Seconds(backoff_total),
+                        pin_delay: None,
+                        escalations,
+                    };
+                }
+                Outcome::Denied(DenyReason::NoWirelessLink) => {
+                    // Without the watch link there is no protocol to
+                    // retry and no trusted channel to re-arm; this is
+                    // the one denial even PIN surrender doesn't model.
+                    return ResilienceReport {
+                        outcome: ResilientOutcome::Denied(DenyReason::NoWirelessLink),
+                        attempts,
+                        total_delay: Seconds(attempt_total + backoff_total),
+                        backoff_delay: Seconds(backoff_total),
+                        pin_delay: None,
+                        escalations,
+                    };
+                }
+                Outcome::Denied(reason) => reason,
+            };
+
+            let exhausted = tries >= policy.max_attempts
+                || attempt_total + backoff_total >= policy.total_budget.value()
+                || reason == DenyReason::LockedOut;
+            if exhausted {
+                if policy.surrender_to_pin {
+                    if sink.enabled() {
+                        sink.record_retry(&RetryEvent {
+                            attempt: tries,
+                            outcome: outcome_event(outcome),
+                            action: RetryAction::Surrender,
+                            backoff_s: 0.0,
+                        });
+                    }
+                    let pin = PinEntryModel::four_digit().sample(rng);
+                    self.enter_pin();
+                    return ResilienceReport {
+                        outcome: ResilientOutcome::PinFallback,
+                        attempts,
+                        total_delay: Seconds(attempt_total + backoff_total + pin.value()),
+                        backoff_delay: Seconds(backoff_total),
+                        pin_delay: Some(pin),
+                        escalations,
+                    };
+                }
+                return ResilienceReport {
+                    outcome: ResilientOutcome::Denied(reason),
+                    attempts,
+                    total_delay: Seconds(attempt_total + backoff_total),
+                    backoff_delay: Seconds(backoff_total),
+                    pin_delay: None,
+                    escalations,
+                };
+            }
+
+            let escalate = matches!(
+                reason,
+                DenyReason::ProbeNotDetected
+                    | DenyReason::NlosDetected
+                    | DenyReason::SnrTooLow
+                    | DenyReason::TokenRejected
+            );
+            if escalate {
+                tuning.volume_boost_db += policy.volume_boost_db;
+                tuning.relax_max_ber = policy.relax_max_ber;
+                escalations += 1;
+            }
+            let backoff = if policy.base_backoff.value() > 0.0 {
+                let exp = policy.base_backoff.value()
+                    * policy.backoff_factor.max(1.0).powi(tries as i32 - 1);
+                // Deterministic jitter in [0.5, 1.5)× from the seeded
+                // session stream (only drawn when backoff is enabled,
+                // so zero-backoff callers keep their draw sequence).
+                exp.min(policy.max_backoff.value()) * (0.5 + rng.gen::<f64>())
+            } else {
+                0.0
+            };
+            backoff_total += backoff;
+            if sink.enabled() {
+                sink.record_retry(&RetryEvent {
+                    attempt: tries,
+                    outcome: outcome_event(outcome),
+                    action: if escalate {
+                        RetryAction::Escalate
+                    } else {
+                        RetryAction::Backoff
+                    },
+                    backoff_s: backoff,
+                });
+            }
+        }
+    }
+
+    /// Shared wrapper body for the single-attempt compat methods: run a
+    /// one-attempt series and unwrap its report.
+    fn run_single<R: Rng + ?Sized>(
+        &mut self,
+        env: &Environment,
+        options: &AttemptOptions<'_>,
+        rng: &mut R,
+    ) -> AttemptReport {
+        debug_assert!(options.retry.is_none(), "single-attempt wrapper");
+        let mut series = self.run(env, options, rng);
+        series.attempts.pop().expect("a series holds >= 1 attempt")
+    }
+
     /// Runs one unlock attempt in `env`, updating session state.
+    ///
+    /// Compat wrapper for [`UnlockSession::run`] with default
+    /// [`AttemptOptions`].
     pub fn attempt<R: Rng + ?Sized>(&mut self, env: &Environment, rng: &mut R) -> AttemptReport {
-        self.attempt_observed(env, &NullSink, rng)
+        self.run_single(env, &AttemptOptions::new(), rng)
     }
 
     /// [`UnlockSession::attempt`] with telemetry: every pipeline stage
@@ -320,13 +489,16 @@ impl UnlockSession {
     /// [`AttemptEvent`]. With a disabled sink (e.g. [`NullSink`], which
     /// `attempt` passes) the instrumentation compiles down to a dead
     /// branch — the two entry points run the identical pipeline.
+    ///
+    /// Compat wrapper for [`UnlockSession::run`] with
+    /// [`AttemptOptions::sink`].
     pub fn attempt_observed<R: Rng + ?Sized>(
         &mut self,
         env: &Environment,
         sink: &dyn EventSink,
         rng: &mut R,
     ) -> AttemptReport {
-        self.attempt_faulted(env, &FaultPlan::none(), sink, rng)
+        self.run_single(env, &AttemptOptions::new().sink(sink), rng)
     }
 
     /// [`UnlockSession::attempt_observed`] under an injected
@@ -336,6 +508,9 @@ impl UnlockSession {
     /// integration tests). Fault randomness (e.g. burst noise) comes
     /// from seeds stored in the plan, never from `rng`, so a given plan
     /// perturbs the attempt identically wherever it runs.
+    ///
+    /// Compat wrapper for [`UnlockSession::run`] with
+    /// [`AttemptOptions::fault_plan`].
     pub fn attempt_faulted<R: Rng + ?Sized>(
         &mut self,
         env: &Environment,
@@ -343,9 +518,8 @@ impl UnlockSession {
         sink: &dyn EventSink,
         rng: &mut R,
     ) -> AttemptReport {
-        let report = self.run_attempt(env, faults, AttemptTuning::default(), sink, rng);
-        Self::emit_attempt(&report, sink);
-        report
+        let options = AttemptOptions::new().fault_plan(*faults).sink(sink);
+        self.run_single(env, &options, rng)
     }
 
     fn emit_attempt(report: &AttemptReport, sink: &dyn EventSink) {
@@ -795,8 +969,9 @@ impl UnlockSession {
         report
     }
 
-    /// Convenience: denial reason when the path is blocked by a hand or
-    /// body (used by the case-study harness to retry with relaxed BER).
+    /// The OTP generator's current counter. Advances once per phase-2
+    /// token issued; harnesses use it to track token consumption across
+    /// a trial series.
     pub fn last_counter(&self) -> u64 {
         self.generator.counter()
     }
@@ -807,7 +982,7 @@ impl UnlockSession {
     /// felt no harassment to repeat the unlocking via acoustics in case
     /// of failures".
     ///
-    /// This is [`UnlockSession::attempt_resilient`] with no faults, no
+    /// Compat wrapper for [`UnlockSession::run`] with no faults, no
     /// backoff and no PIN surrender — but retries still escalate, so
     /// after a channel-quality denial the next RTS/CTS probe runs
     /// louder and under a relaxed BER target instead of repeating the
@@ -820,12 +995,9 @@ impl UnlockSession {
     ) -> RetryReport {
         let policy = RetryPolicy {
             max_attempts: max_retries.saturating_add(1),
-            base_backoff: Seconds(0.0),
-            total_budget: Seconds(f64::INFINITY),
-            surrender_to_pin: false,
-            ..RetryPolicy::default()
+            ..RetryPolicy::single_attempt()
         };
-        let rep = self.attempt_resilient(env, &FaultInjector::disabled(), &policy, &NullSink, rng);
+        let rep = self.run(env, &AttemptOptions::new().retry_policy(policy), rng);
         RetryReport {
             outcome: rep.attempts.last().expect("at least one attempt").outcome,
             total_delay: rep.total_delay,
@@ -836,22 +1008,10 @@ impl UnlockSession {
     /// The budgeted retry ladder: repeat the attempt under `injector`'s
     /// per-attempt [`FaultPlan`]s until it unlocks, the channel proves
     /// unfixable, or the budget runs out — then (policy permitting)
-    /// surrender to manual PIN entry.
-    ///
-    /// Ladder rules per failed attempt:
-    ///
-    /// * `NoWirelessLink` — nothing to retry against; hard denial.
-    /// * Channel-quality denials (probe lost, NLOS, SNR too low, token
-    ///   rejected) — **escalate**: the next attempt re-runs the full
-    ///   RTS/CTS probe with a boosted volume and a relaxed BER target.
-    /// * Other denials — plain backoff retry.
-    /// * Budget exhausted (attempts, wall clock) or locked out —
-    ///   **surrender** to PIN when the policy allows, else deny.
-    ///
-    /// Backoff is exponential with a deterministic jitter drawn from
-    /// `rng` (the session's seeded stream), so the whole series is
-    /// reproducible. Every decision is emitted to `sink` as a
-    /// [`RetryEvent`].
+    /// surrender to manual PIN entry. The ladder rules are documented
+    /// on [`UnlockSession::run`], of which this is a compat wrapper
+    /// combining [`AttemptOptions::fault_injector`] and
+    /// [`AttemptOptions::retry_policy`].
     pub fn attempt_resilient<R: Rng + ?Sized>(
         &mut self,
         env: &Environment,
@@ -860,117 +1020,121 @@ impl UnlockSession {
         sink: &dyn EventSink,
         rng: &mut R,
     ) -> ResilienceReport {
-        let mut attempts: Vec<AttemptReport> = Vec::new();
-        let mut tuning = AttemptTuning::default();
-        let mut attempt_total = 0.0;
-        let mut backoff_total = 0.0;
-        let mut escalations = 0u32;
-        loop {
-            let faults = injector.plan(attempts.len() as u64);
-            let report = self.run_attempt(env, &faults, tuning, sink, rng);
-            Self::emit_attempt(&report, sink);
-            attempt_total += report.total_delay.value();
-            let outcome = report.outcome;
-            attempts.push(report);
-            let tries = attempts.len() as u32;
+        let options = AttemptOptions::new()
+            .fault_injector(*injector)
+            .retry_policy(*policy)
+            .sink(sink);
+        self.run(env, &options, rng)
+    }
+}
 
-            let reason = match outcome {
-                Outcome::Unlocked(path) => {
-                    return ResilienceReport {
-                        outcome: ResilientOutcome::Unlocked(path),
-                        attempts,
-                        total_delay: Seconds(attempt_total + backoff_total),
-                        backoff_delay: Seconds(backoff_total),
-                        pin_delay: None,
-                        escalations,
-                    };
-                }
-                Outcome::Denied(DenyReason::NoWirelessLink) => {
-                    // Without the watch link there is no protocol to
-                    // retry and no trusted channel to re-arm; this is
-                    // the one denial even PIN surrender doesn't model.
-                    return ResilienceReport {
-                        outcome: ResilientOutcome::Denied(DenyReason::NoWirelessLink),
-                        attempts,
-                        total_delay: Seconds(attempt_total + backoff_total),
-                        backoff_delay: Seconds(backoff_total),
-                        pin_delay: None,
-                        escalations,
-                    };
-                }
-                Outcome::Denied(reason) => reason,
-            };
+/// Where [`UnlockSession::run`] gets the fault plan for each attempt of
+/// a series: one fixed plan for every attempt, or an injector deriving
+/// a fresh plan per attempt index. Both are `Copy`, so the options
+/// stay a plain value with a single sink lifetime. The size imbalance
+/// between the variants is deliberate: boxing the plan would cost
+/// `Copy` and a heap allocation per options value, and options only
+/// ever live transiently on the stack of an attempt.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Copy)]
+enum FaultSource {
+    Plan(FaultPlan),
+    Injector(FaultInjector),
+}
 
-            let exhausted = tries >= policy.max_attempts
-                || attempt_total + backoff_total >= policy.total_budget.value()
-                || reason == DenyReason::LockedOut;
-            if exhausted {
-                if policy.surrender_to_pin {
-                    if sink.enabled() {
-                        sink.record_retry(&RetryEvent {
-                            attempt: tries,
-                            outcome: outcome_event(outcome),
-                            action: RetryAction::Surrender,
-                            backoff_s: 0.0,
-                        });
-                    }
-                    let pin = PinEntryModel::four_digit().sample(rng);
-                    self.enter_pin();
-                    return ResilienceReport {
-                        outcome: ResilientOutcome::PinFallback,
-                        attempts,
-                        total_delay: Seconds(attempt_total + backoff_total + pin.value()),
-                        backoff_delay: Seconds(backoff_total),
-                        pin_delay: Some(pin),
-                        escalations,
-                    };
-                }
-                return ResilienceReport {
-                    outcome: ResilientOutcome::Denied(reason),
-                    attempts,
-                    total_delay: Seconds(attempt_total + backoff_total),
-                    backoff_delay: Seconds(backoff_total),
-                    pin_delay: None,
-                    escalations,
-                };
-            }
+/// Builder-style options for [`UnlockSession::run`], the single unlock
+/// entry point.
+///
+/// The default options reproduce the legacy [`UnlockSession::attempt`]:
+/// one attempt, no telemetry ([`NullSink`]), no faults, no retries.
+/// Each builder method switches on one dimension independently:
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use wearlock::config::WearLockConfig;
+/// use wearlock::environment::Environment;
+/// use wearlock::session::{AttemptOptions, AttemptSummary, UnlockSession};
+///
+/// let mut session = UnlockSession::new(WearLockConfig::default())?;
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let options = AttemptOptions::new().retry_budget(3);
+/// let report = session.run(&Environment::default(), &options, &mut rng);
+/// assert!(report.unlocked());
+/// # Ok::<(), wearlock::WearLockError>(())
+/// ```
+#[derive(Clone, Copy)]
+pub struct AttemptOptions<'a> {
+    sink: &'a dyn EventSink,
+    faults: FaultSource,
+    retry: Option<RetryPolicy>,
+}
 
-            let escalate = matches!(
-                reason,
-                DenyReason::ProbeNotDetected
-                    | DenyReason::NlosDetected
-                    | DenyReason::SnrTooLow
-                    | DenyReason::TokenRejected
-            );
-            if escalate {
-                tuning.volume_boost_db += policy.volume_boost_db;
-                tuning.relax_max_ber = policy.relax_max_ber;
-                escalations += 1;
-            }
-            let backoff = if policy.base_backoff.value() > 0.0 {
-                let exp = policy.base_backoff.value()
-                    * policy.backoff_factor.max(1.0).powi(tries as i32 - 1);
-                // Deterministic jitter in [0.5, 1.5)× from the seeded
-                // session stream (only drawn when backoff is enabled,
-                // so zero-backoff callers keep their draw sequence).
-                exp.min(policy.max_backoff.value()) * (0.5 + rng.gen::<f64>())
-            } else {
-                0.0
-            };
-            backoff_total += backoff;
-            if sink.enabled() {
-                sink.record_retry(&RetryEvent {
-                    attempt: tries,
-                    outcome: outcome_event(outcome),
-                    action: if escalate {
-                        RetryAction::Escalate
-                    } else {
-                        RetryAction::Backoff
-                    },
-                    backoff_s: backoff,
-                });
-            }
+impl std::fmt::Debug for AttemptOptions<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttemptOptions")
+            .field("sink_enabled", &self.sink.enabled())
+            .field("faults", &self.faults)
+            .field("retry", &self.retry)
+            .finish()
+    }
+}
+
+impl Default for AttemptOptions<'_> {
+    fn default() -> Self {
+        AttemptOptions {
+            sink: &NullSink,
+            faults: FaultSource::Plan(FaultPlan::none()),
+            retry: None,
         }
+    }
+}
+
+impl<'a> AttemptOptions<'a> {
+    /// The legacy-`attempt` defaults: one attempt, no telemetry, no
+    /// faults, no retries.
+    pub fn new() -> Self {
+        AttemptOptions::default()
+    }
+
+    /// Emits every stage span, attempt event and retry decision to
+    /// `sink` (default: [`NullSink`], whose disabled flag compiles the
+    /// instrumentation down to a dead branch).
+    pub fn sink(mut self, sink: &'a dyn EventSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Applies one fixed [`FaultPlan`] to every attempt of the series
+    /// (default: [`FaultPlan::none()`], a strict no-op). Replaces any
+    /// injector set earlier.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = FaultSource::Plan(plan);
+        self
+    }
+
+    /// Derives a fresh [`FaultPlan`] from `injector` for each attempt
+    /// index of the series. Replaces any fixed plan set earlier.
+    pub fn fault_injector(mut self, injector: FaultInjector) -> Self {
+        self.faults = FaultSource::Injector(injector);
+        self
+    }
+
+    /// Enables the retry ladder under `policy` (default: none — a
+    /// single attempt).
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Shorthand: enable retries with the default [`RetryPolicy`]
+    /// capped at `max_attempts` total attempts (floored at one). Keeps
+    /// an already-set policy's other knobs.
+    pub fn retry_budget(mut self, max_attempts: u32) -> Self {
+        let mut policy = self.retry.unwrap_or_default();
+        policy.max_attempts = max_attempts.max(1);
+        self.retry = Some(policy);
+        self
     }
 }
 
@@ -1009,6 +1173,21 @@ pub struct RetryPolicy {
     /// Whether exhaustion falls back to manual PIN entry (which clears
     /// the lockout) rather than a plain denial.
     pub surrender_to_pin: bool,
+}
+
+impl RetryPolicy {
+    /// The degenerate policy [`UnlockSession::run`] uses when no retry
+    /// policy is set: exactly one attempt, no backoff (so no jitter
+    /// draw), no PIN surrender — the legacy single-attempt semantics.
+    fn single_attempt() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Seconds(0.0),
+            total_budget: Seconds(f64::INFINITY),
+            surrender_to_pin: false,
+            ..RetryPolicy::default()
+        }
+    }
 }
 
 impl Default for RetryPolicy {
@@ -1065,15 +1244,13 @@ pub struct ResilienceReport {
 }
 
 impl ResilienceReport {
-    /// Number of acoustic attempts made.
-    pub fn tries(&self) -> usize {
-        self.attempts.len()
-    }
-
-    /// Whether WearLock unlocked the phone acoustically (or via motion
-    /// skip); PIN fallback counts as `false`.
-    pub fn unlocked(&self) -> bool {
-        self.outcome.unlocked()
+    /// The last attempt of the series — the one whose outcome decided
+    /// it. Single-attempt runs (default [`AttemptOptions`]) have
+    /// exactly one.
+    pub fn final_attempt(&self) -> &AttemptReport {
+        self.attempts
+            .last()
+            .expect("a series holds at least one attempt")
     }
 }
 
@@ -1088,22 +1265,77 @@ pub struct RetryReport {
     pub total_delay: Seconds,
 }
 
-impl RetryReport {
-    /// Number of attempts made.
-    pub fn tries(&self) -> usize {
-        self.attempts.len()
+/// Uniform summary view over the three attempt-report shapes
+/// ([`AttemptReport`], [`RetryReport`], [`ResilienceReport`]), so
+/// aggregation layers — the fleet engine, the bench harnesses — can
+/// fold any of them without special-casing which entry point produced
+/// the report. Replaces the `unlocked()`/`tries()` accessor pairs that
+/// used to be duplicated inherently on each report type.
+pub trait AttemptSummary {
+    /// Whether the series ended with WearLock unlocking the phone
+    /// (acoustically or via motion skip). PIN fallback counts as
+    /// `false`: it is the system failing gracefully, not succeeding.
+    fn unlocked(&self) -> bool;
+    /// Number of acoustic attempts made.
+    fn tries(&self) -> usize;
+    /// Total wall-clock from first button press to the final decision,
+    /// including backoffs and any PIN entry.
+    fn total_delay(&self) -> Seconds;
+}
+
+impl AttemptSummary for AttemptReport {
+    fn unlocked(&self) -> bool {
+        self.outcome.unlocked()
     }
 
-    /// Whether the series ended unlocked.
-    pub fn unlocked(&self) -> bool {
-        self.outcome.unlocked()
+    fn tries(&self) -> usize {
+        1
+    }
+
+    fn total_delay(&self) -> Seconds {
+        self.total_delay
     }
 }
 
-/// Quick check used by tests/examples: is a `BodyBlocked` path with
-/// this attenuation expected to trip the NLOS screen?
+impl AttemptSummary for RetryReport {
+    fn unlocked(&self) -> bool {
+        self.outcome.unlocked()
+    }
+
+    fn tries(&self) -> usize {
+        self.attempts.len()
+    }
+
+    fn total_delay(&self) -> Seconds {
+        self.total_delay
+    }
+}
+
+impl AttemptSummary for ResilienceReport {
+    fn unlocked(&self) -> bool {
+        self.outcome.unlocked()
+    }
+
+    fn tries(&self) -> usize {
+        self.attempts.len()
+    }
+
+    fn total_delay(&self) -> Seconds {
+        self.total_delay
+    }
+}
+
+/// Body-blocked attenuation, dB, at and above which the RMS delay
+/// spread of the simulated multipath reliably exceeds the default NLOS
+/// screen threshold.
+pub const SEVERE_BLOCK_DB: f64 = 15.0;
+
+/// Whether `path` is blocked hard enough ([`SEVERE_BLOCK_DB`] or more
+/// of body attenuation) that the NLOS screen is expected to trip.
+/// Tests and examples use it to pick environments with a predictable
+/// denial.
 pub fn is_severely_blocked(path: PathKind) -> bool {
-    matches!(path, PathKind::BodyBlocked { block_db } if block_db >= 15.0)
+    matches!(path, PathKind::BodyBlocked { block_db } if block_db >= SEVERE_BLOCK_DB)
 }
 
 #[cfg(test)]

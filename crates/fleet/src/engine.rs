@@ -1,0 +1,422 @@
+//! The sharded fleet engine: heavy unlock traffic from a whole user
+//! population, deterministically.
+//!
+//! # Architecture
+//!
+//! Users are partitioned over a **fixed** number of shards by
+//! `user_id % shards` — fixed meaning configured, never derived from
+//! the CPU count, because the partition shapes per-shard queueing and
+//! eviction and must not change with the host. Each shard is one
+//! [`SweepRunner`] task: it collects its users' Poisson arrivals,
+//! sorts them into one deterministic timeline, and replays that
+//! timeline through a single-server virtual-time queue. A worker
+//! thread therefore processes whole shards, and shard results (and
+//! their telemetry recorders) merge in shard-index order — the same
+//! contract every other sweep in this repo obeys, so the fleet report
+//! is bitwise identical for any `--threads` value.
+//!
+//! # Admission control and sessions
+//!
+//! Arrivals beyond the shard's queue budget are **rejected**
+//! (backpressure) rather than queued without bound. Accepted attempts
+//! acquire the user's [`UnlockSession`] from the shard's LRU-bounded
+//! [`SessionStore`] — reusing a live session keeps its warmed
+//! `DemodScratch`, so repeat attempts demodulate allocation-free —
+//! and run through the unified [`UnlockSession::run`] entry point
+//! under the user's derived fault plan.
+//!
+//! # Determinism contract
+//!
+//! Every random choice is a pure function of the fleet seed: profiles
+//! and arrivals key off `(seed, user)`, attempt RNG streams off
+//! `(user seed, attempt index)`, fault plans off the user's fault
+//! seed. The per-shard timeline replay is serial. Nothing reads the
+//! wall clock, the worker id or the thread count.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use wearlock::config::WearLockConfig;
+use wearlock::session::{AttemptOptions, AttemptSummary, UnlockSession};
+use wearlock_faults::FaultPlan;
+use wearlock_runtime::SweepRunner;
+use wearlock_telemetry::MetricsRecorder;
+
+use crate::population::UserPopulation;
+use crate::store::SessionStore;
+
+/// Shards a fleet is partitioned into when not overridden. A fixed
+/// power of two well above typical core counts: enough task granularity
+/// to spread over any worker pool, while keeping the partition — and
+/// with it per-shard queueing and eviction — independent of the host.
+pub const DEFAULT_SHARDS: usize = 64;
+
+/// Sizing and budgets of one fleet simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Base seed everything in the fleet derives from.
+    pub seed: u64,
+    /// Number of simulated users.
+    pub users: u64,
+    /// Number of shards users are partitioned into. Must stay fixed
+    /// across runs being compared — it shapes the per-shard timelines.
+    pub shards: usize,
+    /// Simulated wall-clock horizon, seconds.
+    pub duration_s: f64,
+    /// Mean per-user unlock-attempt rate, Hz (individual users spread
+    /// around it).
+    pub mean_arrival_rate_hz: f64,
+    /// Live [`UnlockSession`]s a shard keeps before LRU eviction.
+    pub session_capacity: usize,
+    /// In-flight attempts a shard queues before rejecting arrivals
+    /// (admission control).
+    pub queue_budget: usize,
+    /// Cap on one user's attempts within the horizon, bounding the
+    /// heavy tail of the Poisson process.
+    pub max_attempts_per_user: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            seed: 0,
+            users: 1_000,
+            shards: DEFAULT_SHARDS,
+            // Five simulated minutes at roughly one unlock per user
+            // per minute: a realistic pocket-to-desk cadence that
+            // still loads the queues.
+            duration_s: 300.0,
+            mean_arrival_rate_hz: 1.0 / 60.0,
+            session_capacity: 32,
+            queue_budget: 16,
+            max_attempts_per_user: 32,
+        }
+    }
+}
+
+/// Aggregate result of one fleet run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Users simulated.
+    pub users: u64,
+    /// Shards the fleet ran over.
+    pub shards: usize,
+    /// Simulated horizon, seconds.
+    pub duration_s: f64,
+    /// Unlock attempts that arrived.
+    pub arrivals: u64,
+    /// Arrivals admitted and executed.
+    pub accepted: u64,
+    /// Arrivals rejected by admission control (backpressure).
+    pub rejected: u64,
+    /// Accepted attempts WearLock unlocked.
+    pub unlocked: u64,
+    /// `unlocked / accepted` (0 when nothing was accepted).
+    pub unlock_rate: f64,
+    /// Accepted attempts per simulated second.
+    pub throughput_per_s: f64,
+    /// Median queueing + protocol latency of accepted attempts,
+    /// seconds (the latency-model percentile, not host wall time).
+    pub p50_latency_s: f64,
+    /// 99th-percentile latency, seconds.
+    pub p99_latency_s: f64,
+    /// Sessions created across all shards (first sight or recreation
+    /// after eviction).
+    pub session_creations: u64,
+    /// LRU evictions across all shards.
+    pub evictions: u64,
+}
+
+impl FleetReport {
+    /// The store invariant the CI smoke job gates on: a correct LRU
+    /// evicts at most once per created session, and creates at most
+    /// once per accepted attempt — so evictions can never exceed
+    /// either.
+    pub fn evictions_within_budget(&self) -> bool {
+        self.evictions <= self.session_creations && self.session_creations <= self.accepted
+    }
+}
+
+/// Per-shard tally, merged in shard-index order on the main thread.
+struct ShardStats {
+    arrivals: u64,
+    accepted: u64,
+    rejected: u64,
+    unlocked: u64,
+    creations: u64,
+    evictions: u64,
+    latencies: Vec<f64>,
+}
+
+/// The fleet simulator: a [`FleetConfig`] plus the [`UserPopulation`]
+/// it implies.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetEngine {
+    config: FleetConfig,
+    population: UserPopulation,
+}
+
+impl FleetEngine {
+    /// An engine for `config` (shards floored at 1).
+    pub fn new(mut config: FleetConfig) -> Self {
+        config.shards = config.shards.max(1);
+        let population =
+            UserPopulation::new(config.seed, config.users, config.mean_arrival_rate_hz);
+        FleetEngine { config, population }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The population the engine simulates.
+    pub fn population(&self) -> &UserPopulation {
+        &self.population
+    }
+
+    /// Runs the fleet over `runner`, recording every attempt's
+    /// telemetry into `metrics` (merged in shard order, so the recorder
+    /// contents are thread-count independent like the report).
+    pub fn run(&self, runner: &SweepRunner, metrics: &MetricsRecorder) -> FleetReport {
+        let cfg = self.config;
+        let pop = self.population;
+        let stats: Vec<ShardStats> =
+            runner.run_with_metrics(cfg.shards, cfg.seed, metrics, |shard, _rng, sink| {
+                simulate_shard(&cfg, &pop, shard, sink)
+            });
+
+        let mut arrivals = 0u64;
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        let mut unlocked = 0u64;
+        let mut creations = 0u64;
+        let mut evictions = 0u64;
+        let mut latencies: Vec<f64> = Vec::new();
+        for s in &stats {
+            arrivals += s.arrivals;
+            accepted += s.accepted;
+            rejected += s.rejected;
+            unlocked += s.unlocked;
+            creations += s.creations;
+            evictions += s.evictions;
+            latencies.extend_from_slice(&s.latencies);
+        }
+        // Total order (no NaNs can occur, but total_cmp keeps the sort
+        // deterministic even if one ever did).
+        latencies.sort_by(f64::total_cmp);
+
+        FleetReport {
+            users: cfg.users,
+            shards: cfg.shards,
+            duration_s: cfg.duration_s,
+            arrivals,
+            accepted,
+            rejected,
+            unlocked,
+            unlock_rate: if accepted == 0 {
+                0.0
+            } else {
+                unlocked as f64 / accepted as f64
+            },
+            throughput_per_s: if cfg.duration_s > 0.0 {
+                accepted as f64 / cfg.duration_s
+            } else {
+                0.0
+            },
+            p50_latency_s: percentile(&latencies, 0.50),
+            p99_latency_s: percentile(&latencies, 0.99),
+            session_creations: creations,
+            evictions,
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending slice; 0 when empty.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    match sorted.len() {
+        0 => 0.0,
+        n => sorted[(((n - 1) as f64) * q).round() as usize],
+    }
+}
+
+/// Replays one shard's arrival timeline through its single-server
+/// queue, session store and the unified attempt API.
+fn simulate_shard(
+    cfg: &FleetConfig,
+    pop: &UserPopulation,
+    shard: usize,
+    sink: &MetricsRecorder,
+) -> ShardStats {
+    // Gather this shard's users and their arrivals into one timeline,
+    // ordered by time with (user, attempt) as the deterministic
+    // tie-break.
+    let mut profiles = BTreeMap::new();
+    let mut timeline: Vec<(f64, u64, u64)> = Vec::new();
+    let mut user = shard as u64;
+    while user < pop.len() {
+        let profile = pop.profile(user);
+        for (k, &t) in pop
+            .arrivals(&profile, cfg.duration_s, cfg.max_attempts_per_user)
+            .iter()
+            .enumerate()
+        {
+            timeline.push((t, user, k as u64));
+        }
+        profiles.insert(user, profile);
+        user += cfg.shards as u64;
+    }
+    timeline.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    let mut store: SessionStore<UnlockSession> = SessionStore::new(cfg.session_capacity);
+    // Virtual-time completion instants of admitted attempts still in
+    // flight; its length is the queue depth admission control bounds.
+    let mut in_flight: VecDeque<f64> = VecDeque::new();
+    let mut server_free = 0.0f64;
+    let mut stats = ShardStats {
+        arrivals: timeline.len() as u64,
+        accepted: 0,
+        rejected: 0,
+        unlocked: 0,
+        creations: 0,
+        evictions: 0,
+        latencies: Vec::new(),
+    };
+
+    for (t, user, attempt) in timeline {
+        while in_flight.front().is_some_and(|&done| done <= t) {
+            in_flight.pop_front();
+        }
+        if in_flight.len() >= cfg.queue_budget.max(1) {
+            stats.rejected += 1;
+            continue;
+        }
+        stats.accepted += 1;
+
+        let profile = &profiles[&user];
+        let session = store.get_or_create(user, || {
+            let config = WearLockConfig::builder()
+                .named(profile.named)
+                .build()
+                .expect("population profiles build valid configs");
+            UnlockSession::new(config).expect("valid configs make sessions")
+        });
+        let mut rng = StdRng::seed_from_u64(UserPopulation::attempt_seed(profile, attempt));
+        let plan = FaultPlan::derive(&profile.faults, attempt);
+        let options = AttemptOptions::new().fault_plan(plan).sink(sink);
+        let series = session.run(&profile.env, &options, &mut rng);
+
+        if series.unlocked() {
+            stats.unlocked += 1;
+        }
+        let service = series.total_delay().value().max(0.0);
+        let wait = (server_free - t).max(0.0);
+        stats.latencies.push(wait + service);
+        server_free = server_free.max(t) + service;
+        in_flight.push_back(server_free);
+    }
+    stats.creations = store.creations();
+    stats.evictions = store.evictions();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small fleet that still exercises arrivals, queueing and the
+    /// store in a few seconds of (debug) test time.
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            seed: 20170605,
+            users: 24,
+            shards: 8,
+            duration_s: 120.0,
+            mean_arrival_rate_hz: 0.02,
+            session_capacity: 2,
+            queue_budget: 4,
+            max_attempts_per_user: 8,
+        }
+    }
+
+    #[test]
+    fn report_is_identical_across_thread_counts() {
+        let run_at = |threads: usize| {
+            let metrics = MetricsRecorder::new();
+            let report = FleetEngine::new(small_config()).run(&SweepRunner::new(threads), &metrics);
+            (report, metrics.to_json())
+        };
+        let (r1, j1) = run_at(1);
+        let (r4, j4) = run_at(4);
+        assert_eq!(r1, r4, "fleet report depends on worker count");
+        assert_eq!(j1, j4, "fleet metrics JSON depends on worker count");
+        assert!(r1.accepted > 0, "{r1:?}");
+    }
+
+    #[test]
+    fn accounting_is_consistent() {
+        let report =
+            FleetEngine::new(small_config()).run(&SweepRunner::new(0), &MetricsRecorder::new());
+        assert_eq!(report.arrivals, report.accepted + report.rejected);
+        assert!(report.unlocked <= report.accepted);
+        assert!((0.0..=1.0).contains(&report.unlock_rate));
+        assert!(report.throughput_per_s > 0.0);
+        assert!(report.p99_latency_s >= report.p50_latency_s);
+        assert!(report.evictions_within_budget(), "{report:?}");
+    }
+
+    #[test]
+    fn tiny_stores_evict_but_stay_within_budget() {
+        let config = FleetConfig {
+            session_capacity: 1,
+            shards: 2,
+            ..small_config()
+        };
+        let report = FleetEngine::new(config).run(&SweepRunner::new(0), &MetricsRecorder::new());
+        assert!(
+            report.evictions > 0,
+            "capacity 1 over 12 users/shard must evict: {report:?}"
+        );
+        assert!(report.evictions_within_budget(), "{report:?}");
+    }
+
+    #[test]
+    fn overload_triggers_backpressure() {
+        // One shard, a starved queue budget and a hot arrival rate:
+        // admission control must start rejecting.
+        let config = FleetConfig {
+            users: 12,
+            shards: 1,
+            duration_s: 60.0,
+            mean_arrival_rate_hz: 0.5,
+            queue_budget: 1,
+            ..small_config()
+        };
+        let report = FleetEngine::new(config).run(&SweepRunner::new(0), &MetricsRecorder::new());
+        assert!(report.rejected > 0, "{report:?}");
+        assert_eq!(report.arrivals, report.accepted + report.rejected);
+    }
+
+    #[test]
+    fn attempts_land_in_the_telemetry_funnel() {
+        let metrics = MetricsRecorder::new();
+        let report = FleetEngine::new(small_config()).run(&SweepRunner::new(0), &metrics);
+        let snap = metrics.snapshot();
+        assert_eq!(
+            snap.attempts, report.accepted,
+            "one funnel event per accepted attempt"
+        );
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[3.0], 0.99), 3.0);
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+    }
+}

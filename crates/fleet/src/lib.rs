@@ -1,0 +1,33 @@
+//! WearLock fleet simulator: heavy unlock traffic from a large,
+//! deterministic user population.
+//!
+//! The WearLock paper evaluates one phone/watch pair at a time; this
+//! crate asks the systems question behind deployment — what happens
+//! when thousands of users run the protocol concurrently against
+//! bounded per-shard resources? It provides:
+//!
+//! - [`population::UserPopulation`] — a deterministic generator of per-user
+//!   profiles (environment, device config, fault exposure, Poisson
+//!   arrival process), all pure functions of `(seed, user id)`;
+//! - [`store::SessionStore`] — a capacity-bounded LRU store keeping each
+//!   shard's hot [`UnlockSession`]s alive between attempts;
+//! - [`engine::FleetEngine`] — the sharded simulator: users partitioned
+//!   over fixed shards, per-shard virtual-time queues with admission
+//!   control, every attempt driven through the unified
+//!   [`UnlockSession::run`] entry point, and results merged in shard
+//!   order so reports and telemetry are bitwise identical for any
+//!   worker-thread count.
+//!
+//! [`UnlockSession`]: wearlock::session::UnlockSession
+//! [`UnlockSession::run`]: wearlock::session::UnlockSession::run
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod population;
+pub mod store;
+
+pub use engine::{FleetConfig, FleetEngine, FleetReport, DEFAULT_SHARDS};
+pub use population::{UserPopulation, UserProfile};
+pub use store::SessionStore;

@@ -1,0 +1,298 @@
+//! Deterministic user-population generator.
+//!
+//! Every user profile — environment, device configuration, fault
+//! intensity, arrival rate — is a pure function of `(population seed,
+//! user id)`: the generator seeds one [`StdRng`] per user through the
+//! same splitmix64 mix ([`plan_seed`]) the fault layer uses, so a
+//! profile never depends on which shard or worker asks for it, or in
+//! what order. That purity is the foundation of the fleet determinism
+//! contract: shard partitioning and thread scheduling can change freely
+//! without any user seeing a different world.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use wearlock::config::NamedConfig;
+use wearlock::environment::{Environment, MotionScenario};
+use wearlock_acoustics::channel::PathKind;
+use wearlock_acoustics::noise::Location;
+use wearlock_dsp::units::Meters;
+use wearlock_faults::{plan_seed, FaultConfig, FaultIntensity};
+use wearlock_sensors::Activity;
+
+/// One simulated user: everything the fleet engine needs to run their
+/// unlock traffic.
+#[derive(Debug, Clone)]
+pub struct UserProfile {
+    /// The user's index in the population.
+    pub user_id: u64,
+    /// Per-user seed all of this user's attempt RNG streams derive
+    /// from (never shared with another user).
+    pub seed: u64,
+    /// The paper configuration this user's phone/watch pair runs.
+    pub named: NamedConfig,
+    /// The physical setting their attempts happen in.
+    pub env: Environment,
+    /// Seed + intensity for this user's fault plans (most users are
+    /// fault-free; a tail sees degraded channels and links).
+    pub faults: FaultConfig,
+    /// Mean unlock-attempt rate of this user, Hz (Poisson arrivals).
+    pub arrival_rate_hz: f64,
+}
+
+/// A sized population with a seed: profiles and arrival processes are
+/// generated on demand, never stored — 10k users cost nothing until
+/// their attempts run.
+#[derive(Debug, Clone, Copy)]
+pub struct UserPopulation {
+    seed: u64,
+    users: u64,
+    mean_arrival_rate_hz: f64,
+}
+
+/// Domain-separation tags so a user's profile draws, arrival process
+/// and per-attempt RNG streams never overlap even though they all
+/// derive from the same per-user seed.
+const STREAM_PROFILE: u64 = 0x5052_4f46; // "PROF"
+const STREAM_ARRIVAL: u64 = 0x4152_5256; // "ARRV"
+const STREAM_ATTEMPT: u64 = 0x4154_5054; // "ATPT"
+
+impl UserPopulation {
+    /// A population of `users` with the given mean per-user arrival
+    /// rate. Individual rates spread around the mean by user, so the
+    /// load is heterogeneous like real traffic.
+    pub fn new(seed: u64, users: u64, mean_arrival_rate_hz: f64) -> Self {
+        UserPopulation {
+            seed,
+            users,
+            mean_arrival_rate_hz: mean_arrival_rate_hz.max(0.0),
+        }
+    }
+
+    /// Number of users in the population.
+    pub fn len(&self) -> u64 {
+        self.users
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.users == 0
+    }
+
+    /// The profile of user `user_id` — a pure function of
+    /// `(population seed, user_id)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `user_id` is outside the population.
+    pub fn profile(&self, user_id: u64) -> UserProfile {
+        assert!(user_id < self.users, "user {user_id} of {}", self.users);
+        let user_seed = plan_seed(self.seed, user_id);
+        let mut rng = StdRng::seed_from_u64(plan_seed(user_seed, STREAM_PROFILE));
+
+        // Environment mix: mostly desks and living rooms, a tail of
+        // noisy or obstructed settings (the field-test spread).
+        let location = match rng.gen_range(0..10u32) {
+            0..=1 => Location::QuietRoom,
+            2..=5 => Location::Office,
+            6..=7 => Location::ClassRoom,
+            8 => Location::Cafe,
+            _ => Location::GroceryStore,
+        };
+        let distance = Meters(0.15 + 0.85 * rng.gen::<f64>());
+        let path = if rng.gen::<f64>() < 0.85 {
+            PathKind::LineOfSight
+        } else {
+            // Hand- or pocket-blocked; a slice of these exceed the
+            // severe threshold and exercise the NLOS denial path.
+            PathKind::BodyBlocked {
+                block_db: 4.0 + 14.0 * rng.gen::<f64>(),
+            }
+        };
+        let motion = match rng.gen_range(0..20u32) {
+            0..=14 => MotionScenario::CoLocated {
+                activity: Activity::Sitting,
+            },
+            15..=18 => MotionScenario::CoLocated {
+                activity: Activity::Walking,
+            },
+            _ => MotionScenario::Different {
+                phone: Activity::Walking,
+                watch: Activity::Running,
+            },
+        };
+        let wireless_in_range = rng.gen::<f64>() < 0.98;
+        let env = Environment::builder()
+            .location(location)
+            .distance(distance)
+            .path(path)
+            .motion(motion)
+            .wireless_in_range(wireless_in_range)
+            .build();
+
+        let named = match rng.gen_range(0..10u32) {
+            0..=6 => NamedConfig::Config1,
+            7..=8 => NamedConfig::Config2,
+            _ => NamedConfig::Config3,
+        };
+
+        // Fault exposure: two thirds of the fleet is clean; the rest
+        // sees mild-to-moderate acoustic/link/clock degradation.
+        let intensity = if rng.gen::<f64>() < 0.66 {
+            FaultIntensity::zero()
+        } else {
+            FaultIntensity::uniform(0.5 * rng.gen::<f64>())
+        };
+        let faults = FaultConfig::new(plan_seed(user_seed, STREAM_ATTEMPT ^ 1), intensity);
+
+        // Per-user arrival rate: 0.25×–1.75× the population mean.
+        let arrival_rate_hz = self.mean_arrival_rate_hz * (0.25 + 1.5 * rng.gen::<f64>());
+
+        UserProfile {
+            user_id,
+            seed: user_seed,
+            named,
+            env,
+            faults,
+            arrival_rate_hz,
+        }
+    }
+
+    /// The user's unlock-attempt arrival times within `[0, duration_s)`
+    /// — a Poisson process (exponential inter-arrivals) drawn from the
+    /// user's own arrival stream, capped at `max_attempts` so one
+    /// heavy-tailed user cannot stall a shard.
+    pub fn arrivals(
+        &self,
+        profile: &UserProfile,
+        duration_s: f64,
+        max_attempts: usize,
+    ) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(plan_seed(profile.seed, STREAM_ARRIVAL));
+        let mut times = Vec::new();
+        if profile.arrival_rate_hz <= 0.0 || duration_s <= 0.0 {
+            return times;
+        }
+        let mut t = 0.0;
+        while times.len() < max_attempts {
+            // Inverse-CDF exponential; `1 - u` keeps ln away from 0.
+            let u: f64 = rng.gen();
+            t += -(1.0 - u).ln() / profile.arrival_rate_hz;
+            if t >= duration_s {
+                break;
+            }
+            times.push(t);
+        }
+        times
+    }
+
+    /// The seed of attempt `k` of `profile`: pure in `(user seed, k)`,
+    /// so replaying one user's k-th attempt needs no knowledge of any
+    /// other user, shard or thread.
+    pub fn attempt_seed(profile: &UserProfile, attempt_index: u64) -> u64 {
+        plan_seed(plan_seed(profile.seed, STREAM_ATTEMPT), attempt_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_pure_functions_of_seed_and_id() {
+        let pop = UserPopulation::new(42, 100, 0.05);
+        let a = pop.profile(17);
+        let b = pop.profile(17);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.named, b.named);
+        assert_eq!(format!("{:?}", a.env), format!("{:?}", b.env));
+        assert_eq!(a.arrival_rate_hz, b.arrival_rate_hz);
+        assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn different_users_get_different_seeds() {
+        let pop = UserPopulation::new(42, 1000, 0.05);
+        let mut seeds: Vec<u64> = (0..1000).map(|u| pop.profile(u).seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 1000, "colliding user seeds");
+    }
+
+    #[test]
+    fn population_mixes_environments_and_configs() {
+        let pop = UserPopulation::new(7, 500, 0.05);
+        let profiles: Vec<UserProfile> = (0..500).map(|u| pop.profile(u)).collect();
+        let blocked = profiles
+            .iter()
+            .filter(|p| matches!(p.env.path, PathKind::BodyBlocked { .. }))
+            .count();
+        assert!(blocked > 20 && blocked < 150, "{blocked}/500 blocked");
+        let clean = profiles
+            .iter()
+            .filter(|p| p.faults.intensity == FaultIntensity::zero())
+            .count();
+        assert!(clean > 250, "{clean}/500 fault-free");
+        let config3 = profiles
+            .iter()
+            .filter(|p| p.named == NamedConfig::Config3)
+            .count();
+        assert!(config3 > 10, "{config3}/500 on Config3");
+    }
+
+    #[test]
+    fn arrivals_are_ordered_bounded_and_reproducible() {
+        let pop = UserPopulation::new(11, 10, 0.2);
+        let profile = pop.profile(3);
+        let a = pop.arrivals(&profile, 120.0, 64);
+        let b = pop.arrivals(&profile, 120.0, 64);
+        assert_eq!(a, b);
+        assert!(a.len() <= 64);
+        for w in a.windows(2) {
+            assert!(w[0] < w[1], "{a:?}");
+        }
+        assert!(a.iter().all(|&t| (0.0..120.0).contains(&t)));
+    }
+
+    #[test]
+    fn arrival_rate_scales_attempt_counts() {
+        let slow = UserPopulation::new(5, 200, 0.01);
+        let fast = UserPopulation::new(5, 200, 0.1);
+        let count = |pop: &UserPopulation| -> usize {
+            (0..200)
+                .map(|u| pop.arrivals(&pop.profile(u), 100.0, 64).len())
+                .sum()
+        };
+        let n_slow = count(&slow);
+        let n_fast = count(&fast);
+        assert!(
+            n_fast > n_slow * 4,
+            "rate x10 only grew attempts {n_slow} -> {n_fast}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_or_duration_produces_no_arrivals() {
+        let pop = UserPopulation::new(9, 4, 0.0);
+        let p = pop.profile(0);
+        assert!(pop.arrivals(&p, 60.0, 64).is_empty());
+        let pop2 = UserPopulation::new(9, 4, 1.0);
+        let p2 = pop2.profile(0);
+        assert!(pop2.arrivals(&p2, 0.0, 64).is_empty());
+    }
+
+    #[test]
+    fn attempt_seeds_differ_across_attempts_and_users() {
+        let pop = UserPopulation::new(13, 4, 0.1);
+        let p0 = pop.profile(0);
+        let p1 = pop.profile(1);
+        assert_ne!(
+            UserPopulation::attempt_seed(&p0, 0),
+            UserPopulation::attempt_seed(&p0, 1)
+        );
+        assert_ne!(
+            UserPopulation::attempt_seed(&p0, 0),
+            UserPopulation::attempt_seed(&p1, 0)
+        );
+    }
+}

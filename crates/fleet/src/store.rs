@@ -1,0 +1,157 @@
+//! Capacity-bounded per-shard session store with LRU eviction.
+//!
+//! A shard cannot keep one live [`UnlockSession`] per user at fleet
+//! scale — each session owns demodulation scratch buffers, OTP state
+//! and a keyguard. The store keeps the hot set: a user's session (and
+//! with it the warmed-up `DemodScratch`, so repeat attempts stay on the
+//! allocation-free path) survives between their attempts while they are
+//! active, and is evicted least-recently-used when the shard's capacity
+//! is exceeded. An evicted user's next attempt transparently recreates
+//! their session from the profile — they only lose warm buffers and
+//! in-session OTP/lockout continuity, never correctness.
+//!
+//! The store is deliberately generic and single-threaded: each shard
+//! owns one instance, so there is no locking and eviction order is a
+//! pure function of the shard's (deterministic) access sequence.
+//!
+//! [`UnlockSession`]: wearlock::session::UnlockSession
+
+/// An LRU-evicting map from user id to a live value, with creation and
+/// eviction counters.
+///
+/// Backed by a `Vec` kept in recency order (least-recently-used first).
+/// Shard capacities are small (tens to hundreds), where a linear scan
+/// beats hash-map overhead and — unlike a hash map — iterates in a
+/// deterministic order.
+#[derive(Debug)]
+pub struct SessionStore<T> {
+    capacity: usize,
+    /// Recency order: least-recently-used first, most-recent last.
+    entries: Vec<(u64, T)>,
+    creations: u64,
+    evictions: u64,
+}
+
+impl<T> SessionStore<T> {
+    /// A store evicting beyond `capacity` entries (floored at 1).
+    pub fn new(capacity: usize) -> Self {
+        SessionStore {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            creations: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total values created (first access or recreation after
+    /// eviction).
+    pub fn creations(&self) -> u64 {
+        self.creations
+    }
+
+    /// Total LRU evictions. The store evicts at most once per created
+    /// value, so `evictions <= creations <= accesses` — the
+    /// `evictions_within_budget` invariant the fleet CI gate checks.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Whether `key` is currently live (does not touch recency).
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.iter().any(|(k, _)| *k == key)
+    }
+
+    /// The value for `key`, created via `make` on a miss; either way
+    /// the entry becomes the most recently used. A miss at capacity
+    /// evicts the least-recently-used entry first.
+    pub fn get_or_create(&mut self, key: u64, make: impl FnOnce() -> T) -> &mut T {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            // Rotate the touched entry to the most-recent slot without
+            // disturbing the relative order of the others.
+            self.entries[pos..].rotate_left(1);
+        } else {
+            if self.entries.len() >= self.capacity {
+                self.entries.remove(0);
+                self.evictions += 1;
+            }
+            self.creations += 1;
+            self.entries.push((key, make()));
+        }
+        &mut self.entries.last_mut().expect("just ensured").1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_once_and_reuses() {
+        let mut store: SessionStore<Vec<u8>> = SessionStore::new(4);
+        store.get_or_create(1, || vec![1]).push(9);
+        let v = store.get_or_create(1, || unreachable!("hit must not recreate"));
+        assert_eq!(*v, vec![1, 9]);
+        assert_eq!(store.creations(), 1);
+        assert_eq!(store.evictions(), 0);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_at_capacity() {
+        let mut store: SessionStore<u64> = SessionStore::new(2);
+        store.get_or_create(1, || 10);
+        store.get_or_create(2, || 20);
+        // Touch 1 so 2 becomes the LRU.
+        store.get_or_create(1, || unreachable!());
+        store.get_or_create(3, || 30);
+        assert!(store.contains(1));
+        assert!(!store.contains(2), "2 was LRU and must be evicted");
+        assert!(store.contains(3));
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn eviction_recreates_on_next_access() {
+        let mut store: SessionStore<u64> = SessionStore::new(1);
+        store.get_or_create(1, || 10);
+        store.get_or_create(2, || 20);
+        assert_eq!(*store.get_or_create(1, || 11), 11, "stale value revived");
+        assert_eq!(store.creations(), 3);
+        assert_eq!(store.evictions(), 2);
+    }
+
+    #[test]
+    fn evictions_never_exceed_creations() {
+        let mut store: SessionStore<u64> = SessionStore::new(3);
+        // Adversarial access pattern: stride-heavy with revisits.
+        for i in 0..1000u64 {
+            let key = (i * 7) % 13;
+            store.get_or_create(key, || key);
+        }
+        assert!(store.evictions() <= store.creations());
+        assert!(store.len() <= store.capacity());
+    }
+
+    #[test]
+    fn capacity_is_floored_at_one() {
+        let mut store: SessionStore<u64> = SessionStore::new(0);
+        assert_eq!(store.capacity(), 1);
+        store.get_or_create(1, || 1);
+        assert_eq!(store.len(), 1);
+    }
+}

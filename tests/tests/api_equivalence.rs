@@ -1,0 +1,252 @@
+//! The API-redesign contract: every legacy `attempt_*` entry point is
+//! a thin compat wrapper over [`UnlockSession::run`], and must stay
+//! *observably identical* to calling `run` with the equivalent
+//! [`AttemptOptions`] — same reports (Debug-byte equality, which covers
+//! every float bit), same RNG consumption, same telemetry. Plus the
+//! fleet layer built on `run`: its reports and JSON documents must be
+//! independent of the worker-thread count.
+//!
+//! [`UnlockSession`]: wearlock::session::UnlockSession
+//! [`UnlockSession::run`]: wearlock::session::UnlockSession::run
+//! [`AttemptOptions`]: wearlock::session::AttemptOptions
+
+use proptest::prelude::*;
+
+use wearlock::environment::{Environment, MotionScenario};
+use wearlock::session::{AttemptOptions, AttemptSummary, RetryPolicy};
+use wearlock_acoustics::channel::PathKind;
+use wearlock_acoustics::noise::Location;
+use wearlock_dsp::units::{Meters, Seconds};
+use wearlock_faults::{FaultConfig, FaultInjector, FaultIntensity, FaultPlan};
+use wearlock_fleet::{FleetConfig, FleetEngine};
+use wearlock_runtime::SweepRunner;
+use wearlock_sensors::Activity;
+use wearlock_telemetry::MetricsRecorder;
+use wearlock_tests::{default_session, rng};
+
+const SEED: u64 = 20170605;
+
+/// An environment assembled from proptest primitives, covering every
+/// location, LOS/blocked paths (including severe blocks), both wireless
+/// states and the motion scenarios the sensor filter distinguishes.
+fn env_from(
+    loc: u8,
+    distance: f64,
+    block_db: Option<f64>,
+    wireless: bool,
+    motion: u8,
+) -> Environment {
+    let location = match loc % 5 {
+        0 => Location::QuietRoom,
+        1 => Location::Office,
+        2 => Location::ClassRoom,
+        3 => Location::Cafe,
+        _ => Location::GroceryStore,
+    };
+    let path = match block_db {
+        Some(db) => PathKind::BodyBlocked { block_db: db },
+        None => PathKind::LineOfSight,
+    };
+    let motion = match motion % 3 {
+        0 => MotionScenario::CoLocated {
+            activity: Activity::Sitting,
+        },
+        1 => MotionScenario::CoLocated {
+            activity: Activity::Walking,
+        },
+        _ => MotionScenario::Different {
+            phone: Activity::Walking,
+            watch: Activity::Running,
+        },
+    };
+    Environment::builder()
+        .location(location)
+        .distance(Meters(distance))
+        .path(path)
+        .motion(motion)
+        .wireless_in_range(wireless)
+        .build()
+}
+
+/// The policy `attempt_with_retries(max_retries)` promises to apply,
+/// reconstructed from public fields.
+fn flat_retry_policy(max_retries: u32) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: max_retries.saturating_add(1),
+        base_backoff: Seconds(0.0),
+        total_budget: Seconds(f64::INFINITY),
+        surrender_to_pin: false,
+        ..RetryPolicy::default()
+    }
+}
+
+proptest! {
+    // Each case runs full acoustic attempts; a modest case count keeps
+    // the suite interactive while still sweeping the env space.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn run_with_defaults_is_byte_identical_to_attempt(
+        seed in any::<u64>(),
+        loc in any::<u8>(),
+        distance in 0.15f64..3.5,
+        blocked in any::<bool>(),
+        block_db in 1.0f64..20.0,
+        wireless in any::<bool>(),
+        motion in any::<u8>(),
+    ) {
+        let env = env_from(loc, distance, blocked.then_some(block_db), wireless, motion);
+        let a = default_session().attempt(&env, &mut rng(seed));
+        let b = default_session().run_single_check(&env, seed);
+        prop_assert_eq!(format!("{a:?}"), b);
+    }
+
+    #[test]
+    fn run_with_a_plan_is_byte_identical_to_attempt_faulted(
+        seed in any::<u64>(),
+        level in 0.0f64..=0.6,
+        index in 0u64..16,
+        loc in any::<u8>(),
+    ) {
+        let env = env_from(loc, 1.2, None, true, 0);
+        let plan = FaultPlan::derive(
+            &FaultConfig::new(seed ^ 0xF417, FaultIntensity::uniform(level)),
+            index,
+        );
+        let sink_a = MetricsRecorder::new();
+        let sink_b = MetricsRecorder::new();
+        let a = default_session().attempt_faulted(&env, &plan, &sink_a, &mut rng(seed));
+        let mut series = default_session().run(
+            &env,
+            &AttemptOptions::new().fault_plan(plan).sink(&sink_b),
+            &mut rng(seed),
+        );
+        let b = series.attempts.pop().expect("single attempt");
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        prop_assert_eq!(sink_a.to_json(), sink_b.to_json());
+    }
+}
+
+/// `run` without a retry policy is single-attempt; this helper mirrors
+/// what the `attempt` wrapper does so the proptest above compares the
+/// public `run` path, not the wrapper against itself.
+trait RunSingle {
+    fn run_single_check(&mut self, env: &Environment, seed: u64) -> String;
+}
+
+impl RunSingle for wearlock::session::UnlockSession {
+    fn run_single_check(&mut self, env: &Environment, seed: u64) -> String {
+        let mut series = self.run(env, &AttemptOptions::new(), &mut rng(seed));
+        assert_eq!(series.attempts.len(), 1, "defaults must mean one attempt");
+        assert_eq!(series.escalations, 0);
+        assert_eq!(series.pin_delay, None);
+        format!("{:?}", series.attempts.pop().expect("one attempt"))
+    }
+}
+
+#[test]
+fn observed_wrapper_matches_run_with_a_sink() {
+    for k in 0..4u64 {
+        let env = env_from(k as u8, 0.8 + 0.6 * k as f64, None, true, k as u8);
+        let seed = SEED + k;
+        let sink_a = MetricsRecorder::new();
+        let sink_b = MetricsRecorder::new();
+        let a = default_session().attempt_observed(&env, &sink_a, &mut rng(seed));
+        let series =
+            default_session().run(&env, &AttemptOptions::new().sink(&sink_b), &mut rng(seed));
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{:?}", series.final_attempt()),
+            "env {k}"
+        );
+        assert_eq!(sink_a.to_json(), sink_b.to_json(), "env {k}");
+    }
+}
+
+#[test]
+fn retries_wrapper_matches_run_with_the_flat_policy() {
+    // A blocked, distant channel so the ladder actually retries.
+    let env = env_from(3, 3.0, Some(12.0), true, 0);
+    for retries in [0u32, 2, 4] {
+        let seed = SEED + retries as u64;
+        let a = default_session().attempt_with_retries(&env, retries, &mut rng(seed));
+        let b = default_session().run(
+            &env,
+            &AttemptOptions::new().retry_policy(flat_retry_policy(retries)),
+            &mut rng(seed),
+        );
+        assert_eq!(a.tries(), b.tries(), "retries {retries}");
+        assert_eq!(a.unlocked(), b.unlocked(), "retries {retries}");
+        assert_eq!(
+            a.total_delay().value().to_bits(),
+            b.total_delay().value().to_bits(),
+            "retries {retries}"
+        );
+        assert_eq!(
+            format!("{:?}", a.attempts),
+            format!("{:?}", b.attempts),
+            "retries {retries}"
+        );
+    }
+}
+
+#[test]
+fn resilient_wrapper_matches_run_with_injector_and_policy() {
+    let env = env_from(1, 1.5, None, true, 0);
+    let policy = RetryPolicy::default();
+    for k in 0..3u64 {
+        let seed = SEED ^ (k << 8);
+        let injector = FaultInjector::new(FaultConfig::new(seed, FaultIntensity::uniform(0.35)));
+        let sink_a = MetricsRecorder::new();
+        let sink_b = MetricsRecorder::new();
+        let a =
+            default_session().attempt_resilient(&env, &injector, &policy, &sink_a, &mut rng(seed));
+        let b = default_session().run(
+            &env,
+            &AttemptOptions::new()
+                .fault_injector(injector)
+                .retry_policy(policy)
+                .sink(&sink_b),
+            &mut rng(seed),
+        );
+        assert_eq!(format!("{a:?}"), format!("{b:?}"), "case {k}");
+        assert_eq!(sink_a.to_json(), sink_b.to_json(), "case {k}");
+    }
+}
+
+#[test]
+fn fleet_report_and_bench_json_are_worker_count_independent() {
+    let config = FleetConfig {
+        seed: SEED,
+        users: 18,
+        shards: 6,
+        duration_s: 90.0,
+        mean_arrival_rate_hz: 0.02,
+        session_capacity: 2,
+        queue_budget: 3,
+        max_attempts_per_user: 6,
+    };
+    let run_at = |threads: usize| {
+        let metrics = MetricsRecorder::new();
+        let report = FleetEngine::new(config).run(&SweepRunner::new(threads), &metrics);
+        (report, metrics.to_json())
+    };
+    let (r1, m1) = run_at(1);
+    let (r8, m8) = run_at(8);
+    assert_eq!(r1, r8, "fleet report varies with worker count");
+    assert_eq!(m1, m8, "fleet metrics vary with worker count");
+
+    // And the full bench document (grid sweep + gauges) over a tiny
+    // population — the same artifact CI diffs across --threads.
+    let json_at = |threads: usize| {
+        let metrics = MetricsRecorder::new();
+        let cells =
+            wearlock_bench::fleet::sweep(&SweepRunner::new(threads), SEED, 10, 0.02, &metrics);
+        (wearlock_bench::fleet::to_json(&cells), metrics.to_json())
+    };
+    let (j1, g1) = json_at(1);
+    let (j8, g8) = json_at(8);
+    assert_eq!(j1, j8, "BENCH_pr5 document varies with worker count");
+    assert_eq!(g1, g8, "fleet gauges vary with worker count");
+    assert!(j1.contains("\"evictions_within_budget\": true"));
+}

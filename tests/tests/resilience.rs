@@ -14,7 +14,7 @@
 use proptest::prelude::*;
 
 use wearlock::environment::Environment;
-use wearlock::session::{DenyReason, ResilientOutcome, RetryPolicy};
+use wearlock::session::{AttemptSummary, DenyReason, ResilientOutcome, RetryPolicy};
 use wearlock_acoustics::noise::Location;
 use wearlock_dsp::units::Meters;
 use wearlock_faults::{FaultConfig, FaultInjector, FaultIntensity, FaultPlan};
